@@ -1,0 +1,63 @@
+"""Extension — more than two paths (the paper's future work).
+
+Section 7 fixes K = 2 and leaves larger path counts open.  This
+extension splits a FIXED aggregate achievable throughput across
+K in {1, 2, 3, 4} homogeneous paths (each path gets 1/K of the
+throughput via a K-times-larger RTT) and asks the model for the late
+fraction and required startup delay at sigma_a/mu = 1.6.
+
+Shape to check (an informative negative result): under *stationary*
+independent loss processes, the required startup delay is nearly flat
+in K — aggregating paths does not, by itself, buy much.  The paper's
+multipath benefit comes from elsewhere: dynamic reallocation under
+transient outages (Section 7.3 / the fluid bench) and the comparison
+against static splitting (Fig. 11), both of which this repo reproduces
+separately.
+"""
+
+from conftest import run_once
+
+from repro.experiments.report import render_table
+from repro.experiments.runner import scale_profile
+from repro.model.dmp_model import DmpModel
+from repro.model.tcp_chain import FlowParams
+
+P, TO, MU, RATIO = 0.02, 4.0, 25.0, 1.6
+BASE = FlowParams(p=P, rtt=0.05, to_ratio=TO)
+
+
+def _build():
+    profile = scale_profile()
+    horizon = profile.model_horizon_s
+    sigma_total = None
+    rows = []
+    for k in (1, 2, 3, 4):
+        # Each path carries 1/K of a fixed aggregate throughput.
+        from repro.experiments.sweep import rtt_for_ratio
+        rtt = rtt_for_ratio(P, TO, MU, RATIO, k=k)
+        flow = FlowParams(p=P, rtt=rtt, to_ratio=TO)
+        model = DmpModel([flow] * k, mu=MU, tau=6.0)
+        if sigma_total is None:
+            sigma_total = model.aggregate_throughput()
+        f6 = model.late_fraction_mc(horizon_s=horizon,
+                                    seed=13).late_fraction
+        f10 = model.with_tau(10.0).late_fraction_mc(
+            horizon_s=horizon, seed=13).late_fraction
+        required = model.required_startup_delay(
+            threshold=1e-4, horizon_s=horizon, seed=13)
+        rows.append([k, f"{rtt * 1e3:.0f}",
+                     f"{model.throughput_ratio:.2f}",
+                     f"{f6:.3e}", f"{f10:.3e}", required])
+    return render_table(
+        ["K paths", "per-path RTT (ms)", "sigma_a/mu",
+         "late frac tau=6", "late frac tau=10", "required tau (s)"],
+        rows,
+        title=f"Extension: path count at fixed aggregate throughput "
+              f"(p={P}, TO={TO:g}, mu={MU:g}, "
+              f"profile={profile.name})")
+
+
+def test_ablation_kpaths(benchmark, artifact):
+    text = run_once(benchmark, _build)
+    artifact("ablation_kpaths.txt", text)
+    assert "K paths" in text

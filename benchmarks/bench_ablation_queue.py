@@ -1,0 +1,65 @@
+"""Ablation — the loss process: drop-tail vs RED bottlenecks.
+
+The paper's validation (and our calibration of the chain's loss model)
+rests on drop-tail buffer overflow.  RED spreads drops over time and
+flows, which changes both the video flows' measured parameters and the
+late-packet behaviour.  This ablation swaps the bottleneck queues of
+the Setting 2-2 workload for gentle RED and compares.
+"""
+
+from conftest import run_once
+
+from repro.experiments.configs import CALIBRATED_CONFIGS
+from repro.experiments.report import render_table
+from repro.experiments.runner import scale_profile
+from repro.core.session import PathConfig, StreamingSession
+from repro.sim.queueing import REDQueue
+
+MU = 50.0
+TAUS = (4.0, 8.0)
+
+
+def _run(queue_kind: str, profile, seed: int):
+    config = CALIBRATED_CONFIGS[2]
+    paths = [config.path_config, config.path_config]
+    session = StreamingSession(mu=MU, duration_s=profile.duration_s,
+                               paths=paths, scheme="dmp", seed=seed)
+    if queue_kind == "red":
+        for handles in session.topology.paths:
+            for link in (handles.bottleneck_fwd,
+                         handles.bottleneck_rev):
+                link.queue = REDQueue(
+                    capacity=config.buffer_pkts,
+                    rng=session.sim.rng)
+    return session.run()
+
+
+def _build():
+    profile = scale_profile()
+    rows = []
+    for kind in ("droptail", "red"):
+        lates = {tau: [] for tau in TAUS}
+        ps = []
+        for run_idx in range(profile.runs):
+            result = _run(kind, profile, seed=440 + run_idx)
+            for tau in TAUS:
+                lates[tau].append(result.late_fraction(tau))
+            ps.append(result.flow_stats[0]["loss_event_estimate"])
+        rows.append([
+            kind,
+            f"{sum(ps) / len(ps):.4f}",
+            f"{sum(lates[4.0]) / len(lates[4.0]):.3e}",
+            f"{sum(lates[8.0]) / len(lates[8.0]):.3e}",
+        ])
+    return render_table(
+        ["bottleneck queue", "video p (events)", "late frac tau=4",
+         "late frac tau=8"],
+        rows,
+        title=f"Ablation: drop-tail vs RED bottlenecks, Setting 2-2 "
+              f"(profile={profile.name})")
+
+
+def test_ablation_queue(benchmark, artifact):
+    text = run_once(benchmark, _build)
+    artifact("ablation_queue.txt", text)
+    assert "red" in text

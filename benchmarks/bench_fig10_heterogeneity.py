@@ -1,0 +1,18 @@
+"""Fig. 10 — impact of path heterogeneity (Cases 1 and 2, gamma in
+{1.5, 2}).  Shape: required startup delay under heterogeneous paths
+stays close to the homogeneous one.  The quick profile trims the
+ratio grid to {1.6}; full/paper run all 24 settings.
+
+(Thin wrapper; the builder lives in repro.experiments.figures so the
+CLI runner can regenerate the same artefact.)
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import build_fig10
+
+
+def test_fig10(benchmark, artifact):
+    text = run_once(benchmark, build_fig10)
+    artifact("fig10_heterogeneity.txt", text)
+    assert "Fig 10" in text

@@ -1,0 +1,18 @@
+"""Fig. 11 — DMP-streaming vs static-streaming (Section 7.4).
+
+Shape: DMP needs a much lower startup delay than the static odd/even
+split in every group (static bars run up to ~80 s in the paper).
+
+(Thin wrapper; the builder lives in repro.experiments.figures so the
+CLI runner can regenerate the same artefact.)
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import build_fig11
+
+
+def test_fig11(benchmark, artifact):
+    text = run_once(benchmark, build_fig11)
+    artifact("fig11_static.txt", text)
+    assert "Fig 11" in text

@@ -1,0 +1,19 @@
+"""Fig. 4 — validation for independent homogeneous paths (Setting 2-2).
+
+Panel (a): late fraction in arrival order vs playback order (the
+out-of-order effect must be negligible).  Panel (b): simulation vs
+the model fed measured (p, R, T_O), startup delays 3-11 s.
+
+(Thin wrapper; the builder lives in repro.experiments.figures so the
+CLI runner can regenerate the same artefact.)
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import build_fig4
+
+
+def test_fig4(benchmark, artifact):
+    text = run_once(benchmark, build_fig4)
+    artifact("fig4_homogeneous.txt", text)
+    assert "Fig 4(a)" in text and "Fig 4(b)" in text

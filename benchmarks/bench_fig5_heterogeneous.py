@@ -1,0 +1,17 @@
+"""Fig. 5 — validation for independent heterogeneous paths (Setting 1-2).
+
+Same panels as Fig. 4 for the pairing of configurations 1 and 2.
+
+(Thin wrapper; the builder lives in repro.experiments.figures so the
+CLI runner can regenerate the same artefact.)
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import build_fig5
+
+
+def test_fig5(benchmark, artifact):
+    text = run_once(benchmark, build_fig5)
+    artifact("fig5_heterogeneous.txt", text)
+    assert "Fig 5(a)" in text and "Fig 5(b)" in text

@@ -1,0 +1,19 @@
+"""Fig. 7 — model validation on emulated wide-area (Internet) paths.
+
+The paper's PlanetLab campaign, emulated (see DESIGN.md): 10
+experiments; parameters estimated from each run and fed to the model.
+Acceptance: points inside the paper's 10x band.
+
+(Thin wrapper; the builder lives in repro.experiments.figures so the
+CLI runner can regenerate the same artefact.)
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import build_fig7
+
+
+def test_fig7(benchmark, artifact):
+    text = run_once(benchmark, build_fig7)
+    artifact("fig7_internet.txt", text)
+    assert "Fig 7(b)" in text

@@ -1,0 +1,18 @@
+"""Fig. 8 — diminishing gain from increasing sigma_a/mu.
+
+Shape to check: dramatic improvement from ratio 1.2 to 1.4, smaller
+gains beyond; the 1.6 curve crosses 1e-4 around tau ~ 10 s.
+
+(Thin wrapper; the builder lives in repro.experiments.figures so the
+CLI runner can regenerate the same artefact.)
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import build_fig8
+
+
+def test_fig8(benchmark, artifact):
+    text = run_once(benchmark, build_fig8)
+    artifact("fig8_ratio_sweep.txt", text)
+    assert "sigma_a/mu=1.6" in text

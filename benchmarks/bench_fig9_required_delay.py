@@ -1,0 +1,18 @@
+"""Fig. 9 — required startup delay under homogeneous paths
+(sigma_a/mu = 1.6, T_O = 4, threshold 1e-4), varying RTT (panel a)
+or mu (panel b).  Shape: ~10 s across the board, higher for the
+large-R / high-p corners.
+
+(Thin wrapper; the builder lives in repro.experiments.figures so the
+CLI runner can regenerate the same artefact.)
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import build_fig9
+
+
+def test_fig9(benchmark, artifact):
+    text = run_once(benchmark, build_fig9)
+    artifact("fig9_required_delay.txt", text)
+    assert "Fig 9(a)" in text and "Fig 9(b)" in text

@@ -1,0 +1,19 @@
+"""Table 1 — bottleneck-link configurations.
+
+Regenerates the paper's Table 1 and, for each configuration, runs a
+short simulation to report the realised utilisation and drop rate of
+the bottleneck under the calibrated background load.
+
+(Thin wrapper; the builder lives in repro.experiments.figures so the
+CLI runner can regenerate the same artefact.)
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import build_table1
+
+
+def test_table1(benchmark, artifact):
+    text = run_once(benchmark, build_table1)
+    artifact("table1_configs.txt", text)
+    assert "Config" in text

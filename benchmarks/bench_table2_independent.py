@@ -1,0 +1,18 @@
+"""Table 2 — measured video-flow parameters on independent paths.
+
+Shape to check: p in 0.01-0.06, R in 80-250 ms, T_O in 1.4-3.3, and
+heterogeneous pairs inherit each path's configuration signature.
+
+(Thin wrapper; the builder lives in repro.experiments.figures so the
+CLI runner can regenerate the same artefact.)
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import build_table2
+
+
+def test_table2(benchmark, artifact):
+    text = run_once(benchmark, build_table2)
+    artifact("table2_independent.txt", text)
+    assert "Setting" in text

@@ -1,0 +1,18 @@
+"""Table 3 — measured parameters on correlated (shared-path) settings.
+
+Shape to check: the two flows see similar parameters (they share
+fate) and the model still validates (Section 5.3).
+
+(Thin wrapper; the builder lives in repro.experiments.figures so the
+CLI runner can regenerate the same artefact.)
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import build_table3
+
+
+def test_table3(benchmark, artifact):
+    text = run_once(benchmark, build_table3)
+    artifact("table3_correlated.txt", text)
+    assert "Setting" in text

@@ -1,0 +1,28 @@
+"""Shared helpers for the experiment-regeneration benchmarks.
+
+Every benchmark regenerates one table or figure of the paper at the
+active scale profile (``REPRO_SCALE`` in {quick, full, paper}; default
+quick) and drops the rendered artefact under ``benchmarks/out/`` so
+EXPERIMENTS.md can quote real runs.
+"""
+
+import pytest
+
+from repro.experiments.report import save_output
+
+
+@pytest.fixture
+def artifact(capsys):
+    """Return a callback that prints and persists a rendered table."""
+
+    def _emit(name: str, text: str) -> None:
+        path = save_output(name, text)
+        with capsys.disabled():
+            print(f"\n{text}[saved to {path}]")
+
+    return _emit
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

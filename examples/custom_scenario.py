@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Config-driven experiments: describe a topology, get a report.
+
+The scenario below is a JSON-friendly dict — the same shape
+``repro.experiments.scenarios.load_scenario`` reads from a file — so
+downstream users can script parameter studies without touching
+simulator objects.  This one asks a concrete question: a home with a
+cable line (fast, bursty neighbourhood load) and a DSL line (slower,
+quieter), streaming a 720 kbps live video.  How do DMP and a static
+50/50 split compare?
+
+Run:  python examples/custom_scenario.py
+"""
+
+import json
+
+from repro.experiments.scenarios import run_scenario
+
+BASE = {
+    "name": "cable+dsl home",
+    "mu": 60,              # 60 x 1500 B = 720 kbps
+    "duration_s": 240,
+    "seed": 11,
+    "taus": [2, 4, 6, 10],
+    "paths": [
+        # Cable: more headroom, noisy neighbourhood.
+        {"bandwidth_mbps": 2.0, "delay_ms": 15, "buffer_pkts": 60,
+         "ftp_flows": 2, "http_flows": 12},
+        # DSL: much slower but quiet.
+        {"bandwidth_mbps": 0.45, "delay_ms": 25, "buffer_pkts": 40,
+         "ftp_flows": 0, "http_flows": 4},
+    ],
+}
+
+if __name__ == "__main__":
+    for scheme in ("dmp", "static"):
+        scenario = dict(BASE, scheme=scheme,
+                        name=f"{BASE['name']} ({scheme})")
+        summary = run_scenario(scenario)
+        print(f"=== {summary['name']} ===")
+        print(f"  delivered {summary['arrived_packets']}"
+              f"/{summary['total_packets']}, "
+              f"path shares {[f'{s:.2f}' for s in summary['path_shares']]}")
+        for flow in summary["flows"]:
+            print(f"  {flow['name']}: p={flow['loss_event_rate']:.4f} "
+                  f"RTT={flow['mean_rtt_s'] * 1e3:.0f} ms")
+        for tau, metrics in summary["late_fraction"].items():
+            print(f"  tau={tau:>2}s late fraction "
+                  f"{metrics['playback_order']:.4f}")
+        print()
+    print("The DSL line can *just* carry its half on average, but "
+          "HTTP bursts stall it for\nseconds at a time: the static "
+          "split parks half the stream behind those stalls\n(late "
+          "even at tau=10) while DMP reroutes around them "
+          "(clean from tau=4).")
+    print("\n(Equivalent JSON scenario:)")
+    print(json.dumps(BASE, indent=2)[:400] + " ...")

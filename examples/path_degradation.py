@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Path degradation: DMP vs static when one path collapses mid-stream.
+
+A live stream runs over two initially identical paths.  At t = 60 s
+path 2's bottleneck drops to a fifth of its bandwidth (flash crowd,
+route change, rain fade — pick your failure).  DMP-streaming notices
+implicitly: path 2's TCP sender blocks more, fetches less, and the
+packets flow to path 1.  The static scheme keeps sending half the
+packets onto the collapsed path and the client buffer starves.
+
+Run:  python examples/path_degradation.py
+"""
+
+from repro.core.client import StreamClient
+from repro.core.metrics import late_fraction
+from repro.core.source import VideoSource
+from repro.core.streamers import DmpStreamer, StaticStreamer
+from repro.sim.engine import Simulator
+from repro.sim.link import duplex_link
+from repro.sim.node import Node
+from repro.tcp.socket import TcpConnection
+
+MU = 80            # pkts/s (~1 Mbps video)
+DURATION = 180.0   # s
+DEGRADE_AT = 60.0  # s
+TAU = 5.0
+
+
+def build(scheme: str, seed: int = 3):
+    sim = Simulator(seed=seed)
+    server = Node(sim, "server")
+    client = StreamClient()
+    connections = []
+    links = []
+    for k in (1, 2):
+        client_if = Node(sim, f"client{k}")
+        fwd, _rev = duplex_link(sim, server, client_if,
+                                bandwidth_bps=1.2e6, delay_s=0.02,
+                                queue_limit_pkts=60)
+        links.append(fwd)
+        connections.append(TcpConnection(
+            sim, server, client_if, send_buffer_pkts=32,
+            on_deliver=client.deliver_callback(f"path{k}")))
+    if scheme == "dmp":
+        streamer = DmpStreamer(sim, connections)
+    else:
+        streamer = StaticStreamer(sim, connections)
+    source = VideoSource(sim, getattr(streamer, "queue", None),
+                         mu=MU, duration_s=DURATION)
+    streamer.attach_source(source)
+
+    # Schedule the degradation: path 2 collapses to 0.24 Mbps.
+    def degrade():
+        links[1].bandwidth_bps = 0.24e6
+        print(f"    [t={sim.now:5.1f}s] path 2 degraded to 0.24 Mbps")
+
+    sim.at(DEGRADE_AT, degrade)
+    return sim, streamer, client, source
+
+
+def run(scheme: str):
+    print(f"\n=== {scheme.upper()} streaming ===")
+    sim, streamer, client, source = build(scheme)
+    checkpoints = [30.0, DEGRADE_AT, 90.0, 120.0, DURATION]
+    last = [0, 0]
+    for checkpoint in checkpoints:
+        sim.run(until=checkpoint)
+        sent = list(streamer.sent_per_path)
+        delta = [sent[0] - last[0], sent[1] - last[1]]
+        last = sent
+        window_share = (delta[0] / (delta[0] + delta[1])
+                        if sum(delta) else 0.0)
+        print(f"    [t={checkpoint:5.1f}s] packets this interval "
+              f"path1={delta[0]:4d} path2={delta[1]:4d} "
+              f"(path1 share {window_share:.0%})")
+    sim.run(until=DURATION + 60)
+    frac = late_fraction(client.arrivals, MU, TAU,
+                         total_packets=source.total_packets)
+    print(f"    late fraction at tau={TAU:.0f}s: {frac:.4f} "
+          f"({client.received}/{source.total_packets} arrived)")
+    return frac
+
+
+if __name__ == "__main__":
+    print(f"{MU}-pkt/s live stream, two 1.2 Mbps paths, "
+          f"path 2 collapses at t={DEGRADE_AT:.0f}s")
+    f_dmp = run("dmp")
+    f_static = run("static")
+    print(f"\nDMP late fraction    : {f_dmp:.4f}")
+    print(f"Static late fraction : {f_static:.4f}")
+    print("DMP shifts load to the healthy path within a few RTTs; "
+          "static keeps feeding the dead one.")

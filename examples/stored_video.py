@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Stored-video streaming: the paper's future-work extension.
+
+Live streaming can never buffer more than ``mu * tau`` early packets —
+only generated content can be sent (Section 2.1 of the paper).  A
+stored video has no such bound: DMP prefetches as far ahead as the
+paths allow, so transient congestion that would glitch a live stream
+is absorbed.  This example streams the same video over the same
+congested paths twice — once live, once stored — and compares the
+late-packet fractions across startup delays.
+
+Run:  python examples/stored_video.py
+"""
+
+from repro.core.client import StreamClient
+from repro.core.metrics import late_fraction
+from repro.core.source import StoredVideoSource, VideoSource
+from repro.core.streamers import DmpStreamer
+from repro.sim.engine import Simulator
+from repro.sim.topology import BottleneckSpec, IndependentPathsTopology
+from repro.tcp.socket import TcpConnection
+from repro.traffic.ftp import FtpFlow
+from repro.traffic.http import HttpFlow
+
+MU = 40
+DURATION = 180.0
+SPEC = BottleneckSpec(bandwidth_bps=1.5e6, delay_s=0.02,
+                      buffer_pkts=40)
+
+
+def run(kind: str, seed: int = 5):
+    sim = Simulator(seed=seed)
+    topo = IndependentPathsTopology(sim, [SPEC, SPEC])
+    for handles in topo.paths:
+        FtpFlow(sim, handles.bg_source_host, handles.bg_sink_host,
+                start_at=0.5)
+        for i in range(8):
+            HttpFlow(sim, handles.bg_source_host,
+                     handles.bg_sink_host, start_at=i * 0.3)
+    client = StreamClient()
+    connections = [
+        TcpConnection(sim, handles.server_if, handles.client_if,
+                      send_buffer_pkts=16,
+                      on_deliver=client.deliver_callback(
+                          f"path{handles.index}"))
+        for handles in topo.paths]
+    streamer = DmpStreamer(sim, connections)
+    source_cls = StoredVideoSource if kind == "stored" \
+        else VideoSource
+    source = source_cls(sim, streamer.queue, mu=MU,
+                        duration_s=DURATION, start_at=10.0)
+    streamer.attach_source(source)
+    sim.run(until=10.0 + DURATION + 60.0)
+    arrivals = [(n, t - 10.0) for n, t in client.arrivals]
+    return arrivals, source.total_packets
+
+
+if __name__ == "__main__":
+    print(f"{MU}-pkt/s video over two congested 1.5 Mbps paths, "
+          "live vs stored\n")
+    live, total = run("live")
+    stored, _ = run("stored")
+    print("  tau    live late-frac   stored late-frac")
+    for tau in (1.0, 2.0, 4.0, 6.0, 10.0):
+        f_live = late_fraction(live, MU, tau, total_packets=total)
+        f_stored = late_fraction(stored, MU, tau,
+                                 total_packets=total)
+        print(f"  {tau:4.0f}   {f_live:14.4f}   {f_stored:16.4f}")
+    print("\nStored video prefetches past the mu*tau live bound, so "
+          "it tolerates congestion that glitches the live stream.")

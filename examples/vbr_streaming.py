@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""VBR streaming: relaxing the paper's CBR assumption.
+
+The paper models CBR video.  Real codecs emit GOP-patterned bursts —
+a large I frame every few hundred milliseconds.  This example isolates
+the cost of that burstiness: a CBR and a VBR video with the same
+*average* rate are streamed with DMP over two clean paths whose
+aggregate capacity sits between the stream's mean and peak rates.
+Late fractions use the deadline rule (a packet generated at g must
+arrive by g + tau), which reduces to the paper's CBR rule.
+
+Expected outcome — and the reason the paper's CBR assumption is
+benign: frame-scale burstiness (GOP I-frame spikes, ~tens of
+milliseconds) is completely absorbed by even a sub-second startup
+delay, so "gop" behaves like "cbr".  What does cost buffer is
+*second-scale* rate variation ("scene": 8 s quiet, 8 s busy at 1.7x
+the path drain rate) — there the backlog accumulated during a busy
+scene must fit into the startup delay.
+
+Run:  python examples/vbr_streaming.py
+"""
+
+from repro.core.client import StreamClient
+from repro.core.source import VideoSource
+from repro.core.streamers import DmpStreamer
+from repro.core.vbr import (
+    DEFAULT_GOP_PATTERN,
+    VbrVideoSource,
+    deadline_late_fraction,
+)
+from repro.sim.engine import Simulator
+from repro.sim.link import duplex_link
+from repro.sim.node import Node
+from repro.tcp.socket import TcpConnection
+
+FRAME_RATE = 25.0
+DURATION = 120.0
+# DEFAULT_GOP_PATTERN averages 3 pkts/frame -> 75 pkts/s mean; the
+# I frame is an 8-packet burst.
+MEAN_RATE = FRAME_RATE * (sum(DEFAULT_GOP_PATTERN)
+                          / len(DEFAULT_GOP_PATTERN))
+PATH_BANDWIDTH = 5.4e5  # 45 pkts/s per path; aggregate 90 > 75 mean
+
+# Scene-scale VBR: 8 s at 25 pkts/s, then 8 s at 125 pkts/s (same
+# 75 pkts/s mean, but the busy scene exceeds the 90 pkts/s drain).
+SCENE_PATTERN = (1,) * 200 + (5,) * 200
+
+
+def build(kind: str, seed: int = 6):
+    sim = Simulator(seed=seed)
+    server = Node(sim, "server")
+    client = StreamClient()
+    connections = []
+    for k in (1, 2):
+        client_if = Node(sim, f"c{k}")
+        duplex_link(sim, server, client_if, PATH_BANDWIDTH, 0.03,
+                    queue_limit_pkts=30)
+        connections.append(TcpConnection(
+            sim, server, client_if, send_buffer_pkts=12,
+            on_deliver=client.deliver_callback(f"p{k}")))
+    streamer = DmpStreamer(sim, connections)
+    if kind == "cbr":
+        source = VideoSource(sim, streamer.queue, mu=MEAN_RATE,
+                             duration_s=DURATION)
+    else:
+        pattern = DEFAULT_GOP_PATTERN if kind == "gop" \
+            else SCENE_PATTERN
+        source = VbrVideoSource(sim, streamer.queue,
+                                frame_rate=FRAME_RATE,
+                                duration_s=DURATION,
+                                gop_pattern=pattern,
+                                jitter=0.2)
+    streamer.attach_source(source)
+    sim.run(until=DURATION + 60.0)
+    if kind == "cbr":
+        gen_times = {i: i / MEAN_RATE
+                     for i in range(source.total_packets)}
+        total = source.total_packets
+    else:
+        gen_times = source.generation_times
+        total = source.generated
+    return client, gen_times, total
+
+
+if __name__ == "__main__":
+    print(f"CBR vs VBR at the same mean rate ({MEAN_RATE:.0f} pkts/s)"
+          f" over two {PATH_BANDWIDTH / 1e6:.2f} Mbps paths "
+          "(aggregate between mean and peak)\n")
+    kinds = ("cbr", "gop", "scene")
+    results = {kind: build(kind) for kind in kinds}
+    print("  tau     CBR late-frac   GOP-VBR late-frac"
+          "   scene-VBR late-frac")
+    for tau in (0.25, 0.5, 1.0, 2.0, 4.0, 8.0):
+        row = []
+        for kind in kinds:
+            client, gen_times, total = results[kind]
+            row.append(deadline_late_fraction(
+                client.arrivals, gen_times, tau,
+                total_packets=total))
+        print(f"  {tau:5.2f}  {row[0]:14.4f}   {row[1]:17.4f}"
+              f"   {row[2]:19.4f}")
+    print("\nFrame-scale (GOP) burstiness behaves like CBR — the "
+          "paper's CBR assumption is benign.\nSecond-scale scene "
+          "changes are what cost startup delay.")

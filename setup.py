@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline environment ships setuptools 65.5 without the ``wheel``
+package, so PEP-660 editable installs (``pip install -e .``) cannot
+build the editable wheel.  This shim lets ``python setup.py develop``
+(and pip's legacy fallback) work; metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

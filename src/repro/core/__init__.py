@@ -1,0 +1,46 @@
+"""DMP-streaming: the paper's contribution.
+
+The public API here lets a user stream a live CBR video over K TCP
+connections using either the paper's Dynamic MPath-streaming scheme
+(:class:`DmpStreamer`), the static-allocation baseline
+(:class:`StaticStreamer`), or a single path
+(:class:`SinglePathStreamer`), and then evaluate the client-side
+late-packet metrics for any startup delay.
+"""
+
+from repro.core.client import StreamClient
+from repro.core.metrics import (
+    GlitchStats,
+    PlaybackMetrics,
+    arrival_order_late_fraction,
+    glitch_statistics,
+    late_fraction,
+    playback_metrics,
+)
+from repro.core.packets import VideoPacket
+from repro.core.server_queue import ServerQueue
+from repro.core.session import StreamingSession
+from repro.core.source import StoredVideoSource, VideoSource
+from repro.core.streamers import (
+    DmpStreamer,
+    SinglePathStreamer,
+    StaticStreamer,
+)
+
+__all__ = [
+    "VideoPacket",
+    "ServerQueue",
+    "VideoSource",
+    "StoredVideoSource",
+    "StreamClient",
+    "DmpStreamer",
+    "StaticStreamer",
+    "SinglePathStreamer",
+    "StreamingSession",
+    "PlaybackMetrics",
+    "GlitchStats",
+    "glitch_statistics",
+    "late_fraction",
+    "arrival_order_late_fraction",
+    "playback_metrics",
+]

@@ -1,0 +1,112 @@
+"""The streaming client: reassembly buffer and arrival recording.
+
+The client is assumed to have ample storage (Section 2), so it never
+drops early packets; it records the arrival time of every video packet
+and the playback analysis in :mod:`repro.core.metrics` is computed from
+that record for any startup delay ``tau`` — one simulation run yields
+the whole tau-curve, exactly like replaying a tcpdump trace.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.packets import VideoPacket
+
+
+class StreamClient:
+    """Receives video packets from one or more TCP connections."""
+
+    def __init__(self):
+        self.arrivals: List[Tuple[int, float]] = []
+        self._arrival_time: Dict[int, float] = {}
+        self.per_path_counts: Dict[str, int] = {}
+        self.duplicates = 0
+
+    def deliver_callback(self, path_name: str):
+        """Make an ``on_deliver`` callback for one TCP connection."""
+
+        def on_deliver(payload, _seq: int, time: float) -> None:
+            self.on_packet(payload, time, path_name)
+
+        return on_deliver
+
+    def on_packet(self, packet: VideoPacket, time: float,
+                  path_name: str = "path") -> None:
+        """Record the arrival of one video packet."""
+        if not isinstance(packet, VideoPacket):
+            raise TypeError(
+                f"client received non-video payload: {packet!r}")
+        if packet.number in self._arrival_time:
+            self.duplicates += 1
+            return
+        self._arrival_time[packet.number] = time
+        self.arrivals.append((packet.number, time))
+        self.per_path_counts[path_name] = \
+            self.per_path_counts.get(path_name, 0) + 1
+
+    # ------------------------------------------------------------------
+    @property
+    def received(self) -> int:
+        return len(self.arrivals)
+
+    def arrival_time(self, number: int) -> float:
+        """Arrival time of packet ``number`` (KeyError if missing)."""
+        return self._arrival_time[number]
+
+    def highest_in_order(self) -> int:
+        """Largest n such that packets 0..n-1 have all arrived."""
+        n = 0
+        while n in self._arrival_time:
+            n += 1
+        return n
+
+
+class BufferedStreamClient(StreamClient):
+    """A client with a *finite* playout buffer (the [16] scenario).
+
+    The paper assumes the client buffer is "sufficiently large so that
+    no packet is lost at the client side" (Section 2).  This variant
+    drops that assumption: the buffer holds at most ``capacity``
+    *early* packets, and the client advertises the remaining space
+    through TCP flow control (pass :meth:`window` as the connections'
+    ``window_provider``), so senders are back-pressured rather than
+    packets dropped.
+
+    The startup delay must be fixed up front (playback begins at
+    ``stream_start + tau``), because the advertised window depends on
+    how much has already been played.
+    """
+
+    def __init__(self, sim, mu: float, tau: float, capacity: int,
+                 stream_start: float = 0.0):
+        super().__init__()
+        if mu <= 0 or tau < 0:
+            raise ValueError("need mu > 0 and tau >= 0")
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1 packet")
+        self.sim = sim
+        self.mu = mu
+        self.tau = tau
+        self.capacity = capacity
+        self.stream_start = stream_start
+        self.zero_window_acks = 0
+
+    def played_by_now(self) -> int:
+        """Packets consumed by the playback process so far."""
+        elapsed = self.sim.now - self.stream_start - self.tau
+        if elapsed <= 0:
+            return 0
+        return int(elapsed * self.mu)
+
+    def early_packets(self) -> int:
+        """Early packets currently buffered (never negative)."""
+        return max(0, self.received - self.played_by_now())
+
+    def window(self) -> int:
+        """Advertised window: remaining playout-buffer space."""
+        space = self.capacity - self.early_packets()
+        if space <= 0:
+            self.zero_window_acks += 1
+            return 0
+        return space

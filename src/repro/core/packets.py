@@ -1,0 +1,22 @@
+"""Video packet representation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class VideoPacket:
+    """One CBR video packet.
+
+    ``number`` is the packet's position in the stream; with playback
+    rate ``mu`` and startup delay ``tau`` its playback deadline is
+    ``tau + number / mu`` (generation starts at time 0, Section 2.1).
+    """
+
+    number: int
+    generated_at: float
+
+    def deadline(self, mu: float, tau: float) -> float:
+        """Playback time of this packet for the given stream params."""
+        return tau + self.number / mu

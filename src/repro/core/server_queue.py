@@ -1,0 +1,74 @@
+"""The shared server queue at the heart of DMP-streaming (Fig. 2).
+
+The video source appends generated packets; TCP senders fetch from the
+head.  Earlier-deadline packets always sit at the head because the
+source generates them in playback order.  The paper's lock is realised
+by the fetch-until-blocked discipline: a sender drains packets in one
+atomic (zero-simulated-time) critical section and releases implicitly
+when it blocks or the queue empties.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.core.packets import VideoPacket
+
+
+class ServerQueue:
+    """FIFO queue of generated-but-unsent video packets."""
+
+    def __init__(self):
+        self._queue: deque = deque()
+        self._locked_by: Optional[object] = None
+        self.enqueued = 0
+        self.fetched = 0
+        self.max_depth = 0
+
+    # ------------------------------------------------------------------
+    def push(self, packet: VideoPacket) -> None:
+        """Append a newly generated packet (source side)."""
+        if self._queue and packet.number <= self._queue[-1].number:
+            raise ValueError(
+                "server queue requires strictly increasing packet numbers")
+        self._queue.append(packet)
+        self.enqueued += 1
+        if len(self._queue) > self.max_depth:
+            self.max_depth = len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Lock protocol (Fig. 2).  In the discrete-event simulator fetches
+    # are already atomic, but the protocol is enforced so the scheme is
+    # implemented exactly as specified.
+    # ------------------------------------------------------------------
+    def acquire(self, owner: object) -> bool:
+        """Take the queue lock; False if another sender holds it."""
+        if self._locked_by is not None and self._locked_by is not owner:
+            return False
+        self._locked_by = owner
+        return True
+
+    def release(self, owner: object) -> None:
+        if self._locked_by is owner:
+            self._locked_by = None
+
+    def fetch(self, owner: object) -> Optional[VideoPacket]:
+        """Pop the head packet; requires holding the lock."""
+        if self._locked_by is not owner:
+            raise RuntimeError("fetch without holding the server-queue lock")
+        if not self._queue:
+            return None
+        self.fetched += 1
+        return self._queue.popleft()
+
+    # ------------------------------------------------------------------
+    def peek(self) -> Optional[VideoPacket]:
+        return self._queue[0] if self._queue else None
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._queue

@@ -1,0 +1,197 @@
+"""End-to-end streaming sessions over the packet simulator.
+
+:class:`StreamingSession` assembles everything the paper's Section 5
+validation needs: a Fig.-3 (independent paths) or Fig.-6 (shared
+bottleneck) topology, FTP/HTTP background load per Table 1, the K video
+TCP connections, a streamer (DMP / static / single-path) and the client.
+Running it yields a :class:`SessionResult` with the client arrival
+record and tcpdump-style per-flow estimates of (p, R, T_O).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.client import BufferedStreamClient, StreamClient
+from repro.core.metrics import (
+    GlitchStats,
+    PlaybackMetrics,
+    glitch_statistics,
+    playback_metrics,
+)
+from repro.core.server_queue import ServerQueue
+from repro.core.source import VideoSource
+from repro.core.streamers import DmpStreamer, StaticStreamer
+from repro.sim.engine import Simulator
+from repro.sim.topology import (
+    BottleneckSpec,
+    IndependentPathsTopology,
+    SharedBottleneckTopology,
+)
+from repro.tcp.socket import TcpConnection
+from repro.traffic.ftp import FtpFlow
+from repro.traffic.http import HttpFlow
+
+VIDEO_SEGMENT_BYTES = 1500
+
+
+@dataclass
+class PathConfig:
+    """One path: its bottleneck link plus the background load on it."""
+
+    bottleneck: BottleneckSpec
+    n_ftp: int = 0
+    n_http: int = 0
+
+
+@dataclass
+class SessionResult:
+    """Everything measured from one streaming run."""
+
+    mu: float
+    total_packets: int
+    arrivals: List[tuple]
+    flow_stats: List[dict]
+    path_shares: List[float]
+    bottleneck_drop_fractions: List[float]
+    duration_s: float
+    scheme: str
+
+    def metrics(self, tau: float) -> PlaybackMetrics:
+        """Playback metrics at startup delay ``tau`` (seconds)."""
+        return playback_metrics(self.arrivals, self.mu, tau,
+                                total_packets=self.total_packets)
+
+    def late_fraction(self, tau: float) -> float:
+        return self.metrics(tau).late_fraction
+
+    def glitches(self, tau: float) -> GlitchStats:
+        """Glitch-run statistics at startup delay ``tau``."""
+        return glitch_statistics(self.arrivals, self.mu, tau,
+                                 total_packets=self.total_packets)
+
+
+class StreamingSession:
+    """Build and run one multipath live-streaming experiment."""
+
+    def __init__(self, mu: float, duration_s: float,
+                 paths: Sequence[PathConfig],
+                 scheme: str = "dmp",
+                 shared_bottleneck: bool = False,
+                 seed: Optional[int] = None,
+                 segment_bytes: int = VIDEO_SEGMENT_BYTES,
+                 send_buffer_pkts: int = 16,
+                 warmup_s: float = 20.0,
+                 static_weights: Optional[Sequence[float]] = None,
+                 tcp_variant: str = "reno",
+                 client_buffer_pkts: Optional[int] = None,
+                 client_tau: float = 10.0,
+                 trace=None):
+        if scheme not in ("dmp", "static", "single"):
+            raise ValueError(f"unknown scheme: {scheme}")
+        if scheme == "single" and len(paths) != 1:
+            raise ValueError("single-path scheme needs exactly one path")
+        self.mu = mu
+        self.duration_s = duration_s
+        self.scheme = scheme
+        self.warmup_s = warmup_s
+        self.sim = Simulator(seed=seed)
+
+        # --- topology -------------------------------------------------
+        if shared_bottleneck:
+            if len({id(p.bottleneck) for p in paths}) > 1 and \
+                    len({(p.bottleneck.bandwidth_bps, p.bottleneck.delay_s,
+                          p.bottleneck.buffer_pkts) for p in paths}) > 1:
+                raise ValueError(
+                    "shared bottleneck requires one common spec")
+            topo = SharedBottleneckTopology(
+                self.sim, paths[0].bottleneck, trace=trace,
+                n_paths=len(paths))
+            bg_paths = [paths[0]]
+            self._bottlenecks = [topo.bottleneck_fwd]
+        else:
+            topo = IndependentPathsTopology(
+                self.sim, [p.bottleneck for p in paths], trace=trace)
+            bg_paths = list(paths)
+            self._bottlenecks = [h.bottleneck_fwd for h in topo.paths]
+        self.topology = topo
+
+        # --- background load ------------------------------------------
+        self.background: List[object] = []
+        for cfg, handles in zip(bg_paths, topo.paths):
+            for i in range(cfg.n_ftp):
+                start = self.sim.rng.uniform(0.0, warmup_s / 2.0)
+                self.background.append(FtpFlow(
+                    self.sim, handles.bg_source_host,
+                    handles.bg_sink_host, segment_bytes=segment_bytes,
+                    start_at=start, name=f"ftp{handles.index}.{i}"))
+            for i in range(cfg.n_http):
+                start = self.sim.rng.uniform(0.0, warmup_s / 2.0)
+                self.background.append(HttpFlow(
+                    self.sim, handles.bg_source_host,
+                    handles.bg_sink_host, segment_bytes=segment_bytes,
+                    start_at=start, name=f"http{handles.index}.{i}"))
+
+        # --- video connections + client -------------------------------
+        # A finite client playout buffer (the [16] scenario) fixes the
+        # startup delay up front and back-pressures the senders via
+        # TCP flow control; the default is the paper's unlimited one.
+        if client_buffer_pkts is not None:
+            self.client = BufferedStreamClient(
+                self.sim, mu=mu, tau=client_tau,
+                capacity=client_buffer_pkts, stream_start=warmup_s)
+            window_provider = self.client.window
+        else:
+            self.client = StreamClient()
+            window_provider = None
+        self.connections: List[TcpConnection] = []
+        for k, handles in enumerate(topo.paths[:len(paths)], start=1):
+            conn = TcpConnection(
+                self.sim, handles.server_if, handles.client_if,
+                segment_bytes=segment_bytes,
+                send_buffer_pkts=send_buffer_pkts,
+                on_deliver=self.client.deliver_callback(f"path{k}"),
+                window_provider=window_provider,
+                name=f"video{k}", variant=tcp_variant)
+            self.connections.append(conn)
+
+        # --- streamer + source -----------------------------------------
+        if scheme == "static":
+            self.streamer = StaticStreamer(
+                self.sim, self.connections, weights=static_weights)
+            self.queue = None
+        else:
+            self.queue = ServerQueue()
+            self.streamer = DmpStreamer(
+                self.sim, self.connections, queue=self.queue)
+        # The static scheme routes straight from generation events and
+        # keeps per-path queues, so it takes no shared server queue.
+        self.source = VideoSource(
+            self.sim, self.queue, mu=mu, duration_s=duration_s,
+            start_at=warmup_s)
+        self.streamer.attach_source(self.source)
+
+    # ------------------------------------------------------------------
+    def run(self, drain_s: float = 60.0) -> SessionResult:
+        """Run the experiment and collect results.
+
+        ``drain_s`` extends the run beyond the video's end so in-flight
+        packets can still arrive (they may or may not be late).
+        """
+        video_start = self.warmup_s
+        horizon = video_start + self.duration_s + drain_s
+        self.sim.run(until=horizon)
+
+        arrivals = [(number, time - video_start)
+                    for number, time in self.client.arrivals]
+        return SessionResult(
+            mu=self.mu,
+            total_packets=self.source.total_packets,
+            arrivals=arrivals,
+            flow_stats=[conn.stats() for conn in self.connections],
+            path_shares=list(self.streamer.path_shares),
+            bottleneck_drop_fractions=[
+                link.queue.drop_fraction for link in self._bottlenecks],
+            duration_s=self.duration_s,
+            scheme=self.scheme)

@@ -1,0 +1,85 @@
+"""The live CBR video source."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.core.packets import VideoPacket
+from repro.core.server_queue import ServerQueue
+from repro.sim.engine import Simulator
+
+
+class VideoSource:
+    """Generates CBR video packets into a server queue.
+
+    Live streaming per Section 2: generation starts at ``start_at``
+    (time 0 in the paper), at exactly ``mu`` packets per second, and
+    only already-generated packets can ever be transmitted — which the
+    queue enforces naturally.
+    """
+
+    def __init__(self, sim: Simulator, queue: Optional[ServerQueue],
+                 mu: float, duration_s: float, start_at: float = 0.0,
+                 on_generate: Optional[Callable[[VideoPacket], None]]
+                 = None):
+        if mu <= 0:
+            raise ValueError("playback rate mu must be positive")
+        if duration_s <= 0:
+            raise ValueError("video duration must be positive")
+        self.sim = sim
+        self.queue = queue
+        self.mu = mu
+        self.start_at = start_at
+        self.total_packets = int(round(duration_s * mu))
+        self._listeners: List[Callable[[VideoPacket], None]] = []
+        if on_generate is not None:
+            self._listeners.append(on_generate)
+        self.generated = 0
+        sim.at(max(start_at, sim.now), self._generate_next)
+
+    def add_listener(self,
+                     listener: Callable[[VideoPacket], None]) -> None:
+        """Register a callback fired after each packet is generated."""
+        self._listeners.append(listener)
+
+    @property
+    def finished(self) -> bool:
+        return self.generated >= self.total_packets
+
+    def _generate_next(self) -> None:
+        if self.finished:
+            return
+        packet = VideoPacket(number=self.generated,
+                             generated_at=self.sim.now)
+        if self.queue is not None:
+            self.queue.push(packet)
+        self.generated += 1
+        for listener in self._listeners:
+            listener(packet)
+        if not self.finished:
+            self.sim.schedule(1.0 / self.mu, self._generate_next)
+
+
+class StoredVideoSource(VideoSource):
+    """A pre-recorded video: every packet is available up front.
+
+    The paper notes DMP-streaming "is also applicable to stored-video
+    streaming" and leaves its study as future work; this source enables
+    that extension.  All packets exist at ``start_at`` so the senders
+    are never generation-limited — the early-packet bound ``mu * tau``
+    of live streaming (Section 2.1) no longer applies and the client
+    can buffer arbitrarily far ahead.
+
+    ``mu`` still defines the playback rate (and thus deadlines); the
+    listeners fire once per packet, in order, at the start instant.
+    """
+
+    def _generate_next(self) -> None:
+        while not self.finished:
+            packet = VideoPacket(number=self.generated,
+                                 generated_at=self.sim.now)
+            if self.queue is not None:
+                self.queue.push(packet)
+            self.generated += 1
+            for listener in self._listeners:
+                listener(packet)

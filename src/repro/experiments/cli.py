@@ -1,0 +1,63 @@
+"""Command-line runner for the paper's experiments.
+
+Regenerate any table or figure of the paper without pytest:
+
+    python -m repro.experiments.cli list
+    python -m repro.experiments.cli fig8
+    python -m repro.experiments.cli table2 --scale full -o out/
+    python -m repro.experiments.cli all
+
+Scale profiles (also via $REPRO_SCALE): quick (default), full, paper.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.figures import BUILDERS
+from repro.experiments.report import save_output
+from repro.experiments.runner import scale_profile
+
+
+def main(argv=None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.cli",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument(
+        "target",
+        choices=sorted(BUILDERS) + ["all", "list"],
+        help="which artefact to regenerate")
+    parser.add_argument(
+        "--scale", choices=["quick", "full", "paper"], default=None,
+        help="scale profile (default: $REPRO_SCALE or quick)")
+    parser.add_argument(
+        "-o", "--output-dir", default=None,
+        help="also save the artefact(s) under this directory")
+    args = parser.parse_args(argv)
+
+    if args.target == "list":
+        for name in sorted(BUILDERS):
+            print(name)
+        return 0
+
+    profile = scale_profile(args.scale)
+    targets = sorted(BUILDERS) if args.target == "all" \
+        else [args.target]
+    for name in targets:
+        started = time.time()
+        text = BUILDERS[name](profile=profile)
+        print(text)
+        print(f"[{name}: {time.time() - started:.1f}s at "
+              f"profile={profile.name}]\n")
+        if args.output_dir:
+            path = save_output(f"{name}.txt", text,
+                               directory=args.output_dir)
+            print(f"[saved to {path}]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,120 @@
+"""Bottleneck configurations (Table 1) and validation settings.
+
+``PAPER_TABLE1`` reproduces Table 1 verbatim.  Because our substrate is
+not ns-2 (different HTTP workload model, TCP implementation details and
+timer defaults), running the literal Table-1 loads pushes the video
+flows well below the operating points the paper measured (Table 2).
+``CALIBRATED_CONFIGS`` keeps each configuration's structure — same
+bandwidth, delay, buffer and HTTP count; only the number of FTP flows
+is reduced — so that the *measured* video-flow parameters (p, R, T_O)
+land in the same regime as the paper's Table 2 (p in 0.01-0.05, R in
+80-250 ms, T_O in 1.4-3.3, sigma_a/mu slightly above 1).  Validation
+experiments use the calibrated set; the substitution is recorded in
+DESIGN.md and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.core.session import PathConfig
+from repro.sim.topology import BottleneckSpec
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """One row of Table 1: a bottleneck link and its background load."""
+
+    ftp_flows: int
+    http_flows: int
+    delay_ms: float
+    bandwidth_mbps: float
+    buffer_pkts: int
+
+    @property
+    def spec(self) -> BottleneckSpec:
+        return BottleneckSpec(
+            bandwidth_bps=self.bandwidth_mbps * 1e6,
+            delay_s=self.delay_ms / 1e3,
+            buffer_pkts=self.buffer_pkts)
+
+    @property
+    def path_config(self) -> PathConfig:
+        return PathConfig(bottleneck=self.spec, n_ftp=self.ftp_flows,
+                          n_http=self.http_flows)
+
+
+# Table 1, exactly as printed in the paper.
+PAPER_TABLE1: Dict[int, LinkConfig] = {
+    1: LinkConfig(ftp_flows=9, http_flows=40, delay_ms=40,
+                  bandwidth_mbps=3.7, buffer_pkts=50),
+    2: LinkConfig(ftp_flows=9, http_flows=40, delay_ms=1,
+                  bandwidth_mbps=3.7, buffer_pkts=50),
+    3: LinkConfig(ftp_flows=19, http_flows=40, delay_ms=40,
+                  bandwidth_mbps=5.0, buffer_pkts=50),
+    4: LinkConfig(ftp_flows=5, http_flows=20, delay_ms=1,
+                  bandwidth_mbps=5.0, buffer_pkts=30),
+}
+
+# Calibrated for this substrate (FTP counts reduced; see docstring).
+CALIBRATED_CONFIGS: Dict[int, LinkConfig] = {
+    1: LinkConfig(ftp_flows=7, http_flows=40, delay_ms=40,
+                  bandwidth_mbps=3.7, buffer_pkts=50),
+    2: LinkConfig(ftp_flows=7, http_flows=40, delay_ms=1,
+                  bandwidth_mbps=3.7, buffer_pkts=50),
+    3: LinkConfig(ftp_flows=15, http_flows=40, delay_ms=40,
+                  bandwidth_mbps=5.0, buffer_pkts=50),
+    4: LinkConfig(ftp_flows=5, http_flows=20, delay_ms=1,
+                  bandwidth_mbps=5.0, buffer_pkts=30),
+}
+
+
+@dataclass(frozen=True)
+class Setting:
+    """A validation setting: config per path + video playback rate.
+
+    ``name`` follows the paper ("1-2" pairs configs 1 and 2 on
+    independent paths; "2" is the correlated-paths Setting 2).
+    """
+
+    name: str
+    configs: Tuple[int, ...]
+    mu: float
+    shared_bottleneck: bool = False
+
+    def path_configs(self, table: Dict[int, LinkConfig] = None):
+        table = table if table is not None else CALIBRATED_CONFIGS
+        return [table[i].path_config for i in self.configs]
+
+
+# Section 5.2.1 — independent homogeneous paths (mu from Table 2).
+HOMOGENEOUS_SETTINGS: Dict[str, Setting] = {
+    "1-1": Setting("1-1", (1, 1), mu=50),
+    "2-2": Setting("2-2", (2, 2), mu=50),
+    "3-3": Setting("3-3", (3, 3), mu=30),
+    "4-4": Setting("4-4", (4, 4), mu=80),
+}
+
+# Section 5.2.2 — independent heterogeneous paths (mu from Table 2).
+HETEROGENEOUS_SETTINGS: Dict[str, Setting] = {
+    "1-2": Setting("1-2", (1, 2), mu=50),
+    "1-3": Setting("1-3", (1, 3), mu=40),
+    "2-3": Setting("2-3", (2, 3), mu=40),
+    "3-4": Setting("3-4", (3, 4), mu=60),
+}
+
+# Section 5.3 — correlated paths: both flows on one bottleneck
+# (mu from Table 3).
+CORRELATED_SETTINGS: Dict[str, Setting] = {
+    "1": Setting("1", (1, 1), mu=50, shared_bottleneck=True),
+    "2": Setting("2", (2, 2), mu=50, shared_bottleneck=True),
+    "3": Setting("3", (3, 3), mu=30, shared_bottleneck=True),
+    "4": Setting("4", (4, 4), mu=80, shared_bottleneck=True),
+}
+
+ALL_SETTINGS: Dict[str, Setting] = {
+    **HOMOGENEOUS_SETTINGS,
+    **HETEROGENEOUS_SETTINGS,
+    **{f"corr-{k}": v for k, v in CORRELATED_SETTINGS.items()},
+}

@@ -1,0 +1,156 @@
+"""Config-driven experiment scenarios.
+
+A scenario is a plain dict (JSON/YAML-friendly) describing a complete
+streaming experiment; :func:`build_session` turns it into a ready
+:class:`~repro.core.session.StreamingSession` and
+:func:`run_scenario` executes it and summarises the results.  This is
+the adoption-friendly front door: downstream users describe topologies
+declaratively instead of wiring simulator objects.
+
+Example scenario::
+
+    {
+      "mu": 50,
+      "duration_s": 300,
+      "scheme": "dmp",
+      "tcp_variant": "reno",
+      "seed": 7,
+      "taus": [4, 6, 8, 10],
+      "paths": [
+        {"bandwidth_mbps": 3.7, "delay_ms": 1, "buffer_pkts": 50,
+         "ftp_flows": 7, "http_flows": 40},
+        {"bandwidth_mbps": 3.7, "delay_ms": 1, "buffer_pkts": 50,
+         "ftp_flows": 7, "http_flows": 40}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.core.session import PathConfig, StreamingSession
+from repro.sim.topology import BottleneckSpec
+
+REQUIRED_KEYS = ("mu", "duration_s", "paths")
+KNOWN_KEYS = {
+    "mu", "duration_s", "paths", "scheme", "tcp_variant", "seed",
+    "taus", "shared_bottleneck", "send_buffer_pkts", "segment_bytes",
+    "warmup_s", "static_weights", "client_buffer_pkts", "client_tau",
+    "name",
+}
+PATH_KEYS = {"bandwidth_mbps", "delay_ms", "buffer_pkts", "ftp_flows",
+             "http_flows"}
+DEFAULT_TAUS = (4.0, 6.0, 8.0, 10.0)
+
+
+class ScenarioError(ValueError):
+    """A scenario dict failed validation."""
+
+
+def _fail(message: str) -> None:
+    raise ScenarioError(message)
+
+
+def parse_path(spec: Dict[str, Any], index: int) -> PathConfig:
+    """Validate and convert one path spec dict."""
+    unknown = set(spec) - PATH_KEYS
+    if unknown:
+        _fail(f"path {index}: unknown keys {sorted(unknown)}")
+    try:
+        bandwidth = float(spec["bandwidth_mbps"])
+    except KeyError:
+        _fail(f"path {index}: bandwidth_mbps is required")
+    if bandwidth <= 0:
+        _fail(f"path {index}: bandwidth must be positive")
+    delay_ms = float(spec.get("delay_ms", 10.0))
+    buffer_pkts = int(spec.get("buffer_pkts", 50))
+    if delay_ms < 0 or buffer_pkts < 1:
+        _fail(f"path {index}: invalid delay or buffer")
+    return PathConfig(
+        bottleneck=BottleneckSpec(
+            bandwidth_bps=bandwidth * 1e6,
+            delay_s=delay_ms / 1e3,
+            buffer_pkts=buffer_pkts),
+        n_ftp=int(spec.get("ftp_flows", 0)),
+        n_http=int(spec.get("http_flows", 0)))
+
+
+def validate_scenario(scenario: Dict[str, Any]) -> None:
+    """Raise :class:`ScenarioError` if the dict is malformed."""
+    if not isinstance(scenario, dict):
+        _fail("scenario must be a dict")
+    for key in REQUIRED_KEYS:
+        if key not in scenario:
+            _fail(f"missing required key: {key}")
+    unknown = set(scenario) - KNOWN_KEYS
+    if unknown:
+        _fail(f"unknown scenario keys: {sorted(unknown)}")
+    if float(scenario["mu"]) <= 0:
+        _fail("mu must be positive")
+    if float(scenario["duration_s"]) <= 0:
+        _fail("duration_s must be positive")
+    paths = scenario["paths"]
+    if not isinstance(paths, list) or not paths:
+        _fail("paths must be a non-empty list")
+    for index, spec in enumerate(paths):
+        parse_path(spec, index)
+    taus = scenario.get("taus", DEFAULT_TAUS)
+    if any(float(t) < 0 for t in taus):
+        _fail("taus must be non-negative")
+
+
+def build_session(scenario: Dict[str, Any]) -> StreamingSession:
+    """Construct the session a scenario describes."""
+    validate_scenario(scenario)
+    paths = [parse_path(spec, i)
+             for i, spec in enumerate(scenario["paths"])]
+    kwargs: Dict[str, Any] = {}
+    for key in ("scheme", "tcp_variant", "seed", "shared_bottleneck",
+                "send_buffer_pkts", "segment_bytes", "warmup_s",
+                "static_weights", "client_buffer_pkts", "client_tau"):
+        if key in scenario:
+            kwargs[key] = scenario[key]
+    return StreamingSession(
+        mu=float(scenario["mu"]),
+        duration_s=float(scenario["duration_s"]),
+        paths=paths, **kwargs)
+
+
+def run_scenario(scenario: Dict[str, Any]) -> Dict[str, Any]:
+    """Run a scenario and return a JSON-serialisable summary."""
+    session = build_session(scenario)
+    result = session.run()
+    taus = [float(t) for t in scenario.get("taus", DEFAULT_TAUS)]
+    summary: Dict[str, Any] = {
+        "name": scenario.get("name", "scenario"),
+        "mu": result.mu,
+        "scheme": result.scheme,
+        "total_packets": result.total_packets,
+        "arrived_packets": len(result.arrivals),
+        "path_shares": [float(s) for s in result.path_shares],
+        "flows": [
+            {
+                "name": stats["name"],
+                "loss_event_rate": stats["loss_event_estimate"],
+                "mean_rtt_s": stats["mean_rtt"],
+                "timeout_ratio": stats["timeout_ratio"],
+            } for stats in result.flow_stats],
+        "late_fraction": {},
+    }
+    for tau in taus:
+        metrics = result.metrics(tau)
+        summary["late_fraction"][f"{tau:g}"] = {
+            "playback_order": metrics.late_fraction,
+            "arrival_order": metrics.arrival_order_late_fraction,
+        }
+    return summary
+
+
+def load_scenario(path: str) -> Dict[str, Any]:
+    """Load a scenario dict from a JSON file."""
+    with open(path) as handle:
+        scenario = json.load(handle)
+    validate_scenario(scenario)
+    return scenario

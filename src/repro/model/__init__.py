@@ -1,0 +1,42 @@
+"""The analytical model of DMP-streaming (Section 4 of the paper).
+
+Components
+----------
+* :class:`FlowParams` / :class:`TcpFlowChain` — the per-flow TCP CTMC
+  with state ``(W, C, L, E, Q)``: window, delayed-ACK parity, losses in
+  the previous round, timeout backoff stage and the
+  retransmission-vs-new flag, in the Padhye/Figueiredo round-based style
+  the paper cites.
+* :class:`DmpModel` — the coupled chain ``(X_1 .. X_K, N)`` where ``N``
+  is the early-packet count, frozen at ``Nmax = mu * tau``; provides an
+  exact sparse stationary solver (small chains) and a fast
+  Rao-Blackwellised Monte-Carlo solver (production scale).
+* :mod:`repro.model.pftk` — the PFTK achievable-throughput formula [24]
+  and its inversion (used for Case-2 heterogeneity in Section 7.2).
+* :mod:`repro.model.singlepath` — the single-path model of [31] (K = 1)
+  and the static-streaming evaluation of Section 7.4.
+* :mod:`repro.model.fluid` — the Section 7.3 alternating on/off fluid
+  comparison of DMP vs single-path streaming.
+"""
+
+from repro.model.dmp_model import DmpModel, LateFractionEstimate
+from repro.model.pftk import pftk_throughput, invert_loss_for_throughput
+from repro.model.singlepath import SinglePathModel, static_late_fraction
+from repro.model.tcp_chain import FlowParams, TcpFlowChain
+from repro.model.uniformization import (
+    transient_distribution,
+    transient_expectation,
+)
+
+__all__ = [
+    "FlowParams",
+    "TcpFlowChain",
+    "DmpModel",
+    "LateFractionEstimate",
+    "SinglePathModel",
+    "static_late_fraction",
+    "pftk_throughput",
+    "invert_loss_for_throughput",
+    "transient_distribution",
+    "transient_expectation",
+]

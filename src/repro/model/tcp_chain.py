@@ -1,0 +1,325 @@
+"""Per-flow TCP CTMC: the ``X_k = (W, C, L, E, Q)`` chain of Section 4.2.
+
+The paper defers the transition-rate details to its technical report
+(TR BECAT/CSE-TR-06-7), which is not publicly available; this module
+reconstructs the chain from the description in the paper and the models
+it cites ([23] Padhye et al., [10] Figueiredo et al.):
+
+* transitions happen per *round* (one RTT) at rate ``1/R``; in a round
+  the sender transmits its window ``W`` of packets;
+* within a round losses are correlated — once a packet is lost, every
+  later packet of the round is lost too; rounds are independent;
+* the delayed-ACK parity bit ``C`` makes the window grow by one every
+  *other* lossless congestion-avoidance round (b = 2);
+* a loss round is detected as a timeout with Padhye's probability
+  ``Q(w) = min(1, 3/w)`` and as triple-duplicate-ACK otherwise;
+* TD halves the window and the sawtooth continues — lost packets are
+  retransmitted as part of the following rounds' windows, so the
+  paper's ``L`` component is folded into the round structure (every
+  successful transmission, first-time or retransmission, counts once
+  towards the delivered count ``S``);
+* a timeout remembers ``ssthresh = W/2``, backs off exponentially
+  through stages ``E = 1..6`` with holding time ``T_O * R * 2^(E-1)``,
+  sends one retransmission per stage (the paper's ``Q = 1`` flag), and
+  on success climbs back through slow start (x1.5 per round under
+  delayed ACKs) until ssthresh, then re-enters congestion avoidance.
+
+Each transition carries ``S`` — the number of packets the flow delivers
+successfully at the transition — which is what feeds the client buffer
+in the coupled model of :mod:`repro.model.dmp_model`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+from scipy.sparse import csc_matrix
+from scipy.sparse.linalg import spsolve
+
+MAX_BACKOFF_STAGE = 6
+
+
+@dataclass(frozen=True)
+class FlowParams:
+    """Parameters of one TCP flow, as the paper specifies them.
+
+    ``to_ratio`` is the paper's ``T_O = RTO / RTT`` (dimensionless);
+    the measured range is roughly 1.6 - 3.3 and Section 7 sweeps 1 - 4.
+
+    ``loss_model`` selects the within-round loss process:
+
+    * ``"bursty"`` (default, paper-faithful, following [23, 10]): once
+      a packet is lost, the rest of the round is lost too, and a loss
+      round times out with Padhye's probability ``Q(w) = min(1, 3/w)``.
+    * ``"sparse"``: one packet lost per loss event (what a drop-tail
+      bottleneck shared by many flows mostly does in our packet
+      simulator); the rest of the round arrives, generating duplicate
+      ACKs, so detection times out only when the window is too small
+      for three dup-ACKs (w < 4).  Use this variant when feeding the
+      model with parameters *measured on this repository's simulator*.
+    """
+
+    p: float
+    rtt: float
+    to_ratio: float
+    wmax: int = 32
+    loss_model: str = "bursty"
+
+    def __post_init__(self):
+        if not 0.0 < self.p < 1.0:
+            raise ValueError(f"loss rate must lie in (0, 1): {self.p}")
+        if self.rtt <= 0:
+            raise ValueError(f"RTT must be positive: {self.rtt}")
+        if self.to_ratio <= 0:
+            raise ValueError(
+                f"timeout ratio must be positive: {self.to_ratio}")
+        if self.wmax < 2:
+            raise ValueError(f"wmax must be >= 2: {self.wmax}")
+        if self.loss_model not in ("bursty", "sparse"):
+            raise ValueError(
+                f"unknown loss model: {self.loss_model!r}")
+
+    def scaled_rtt(self, rtt: float) -> "FlowParams":
+        """Same loss process, different RTT (Section 7 trick: sigma*R
+        depends only on p and T_O, so RTT rescales throughput)."""
+        return FlowParams(p=self.p, rtt=rtt, to_ratio=self.to_ratio,
+                          wmax=self.wmax, loss_model=self.loss_model)
+
+
+# State encodings -----------------------------------------------------
+# ("CA", W, C)    congestion avoidance; C is the delayed-ACK parity
+# ("SS", W, H)    slow start towards ssthresh H (post-timeout climb)
+# ("TO", E, H)    timeout backoff stage E >= 1, remembered ssthresh H
+State = Tuple
+
+
+def td_detection_probability(w: int) -> float:
+    """Padhye's probability that a loss round ends in a timeout."""
+    return min(1.0, 3.0 / w)
+
+
+def _halved(w: int) -> int:
+    return max(w // 2, 2)
+
+
+class TcpFlowChain:
+    """Enumerated CTMC for one TCP flow.
+
+    Attributes
+    ----------
+    states:
+        List of state tuples; index in this list is the state id.
+    rates:
+        ``rates[i]`` — total transition rate out of state ``i``.
+    outcomes:
+        ``outcomes[i]`` — list of ``(probability, next_id, S)``.
+    """
+
+    def __init__(self, params: FlowParams):
+        self.params = params
+        self.states: List[State] = []
+        self.index: Dict[State, int] = {}
+        self.rates: List[float] = []
+        self.outcomes: List[List[Tuple[float, int, int]]] = []
+        self._build()
+        self._stationary: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _sid(self, state: State) -> int:
+        """Id of ``state``, registering it on first sight."""
+        sid = self.index.get(state)
+        if sid is None:
+            sid = len(self.states)
+            self.index[state] = sid
+            self.states.append(state)
+            self.rates.append(0.0)
+            self.outcomes.append([])
+        return sid
+
+    def _build(self) -> None:
+        p = self.params.p
+        q = 1.0 - p
+        wmax = self.params.wmax
+        round_rate = 1.0 / self.params.rtt
+
+        for w in range(1, wmax + 1):
+            for c in (0, 1):
+                self._sid(("CA", w, c))
+        visited = 0
+        while visited < len(self.states):
+            sid = visited
+            state = self.states[visited]
+            visited += 1
+            if self.outcomes[sid]:
+                continue
+            kind = state[0]
+            if kind == "CA":
+                self._expand_ca(sid, state, p, q, round_rate, wmax)
+            elif kind == "SS":
+                self._expand_ss(sid, state, p, q, round_rate)
+            else:
+                self._expand_to(sid, state, p, q)
+
+        for sid in range(len(self.states)):
+            total = sum(prob for prob, _, _ in self.outcomes[sid])
+            if abs(total - 1.0) > 1e-9:
+                raise AssertionError(
+                    f"outcome probabilities sum to {total} in state "
+                    f"{self.states[sid]}")
+
+    def _loss_outcomes(self, outs: List, w: int, p: float,
+                       q: float) -> None:
+        """Append the loss-round outcomes shared by CA and SS rounds."""
+        if self.params.loss_model == "sparse":
+            self._loss_outcomes_sparse(outs, w, p, q)
+            return
+        q_to = td_detection_probability(w)
+        half = _halved(w)
+        for j in range(w):
+            prob = (q ** j) * p
+            if q_to < 1.0:
+                outs.append((prob * (1.0 - q_to),
+                             self._sid(("CA", half, 0)), j))
+            if q_to > 0.0:
+                outs.append((prob * q_to,
+                             self._sid(("TO", 1, half)), j))
+
+    def _loss_outcomes_sparse(self, outs: List, w: int, p: float,
+                              q: float) -> None:
+        """Sparse loss events: one packet lost, the rest of the round
+        arrives.  The survivors supply duplicate ACKs, so only windows
+        below four packets are forced into a timeout; the lost packet's
+        fast retransmission lands within roughly a round, so the whole
+        window is credited on a TD event."""
+        loss_prob = 1.0 - q ** w
+        if loss_prob <= 0.0:
+            return
+        half = _halved(w)
+        if w >= 4:
+            outs.append((loss_prob, self._sid(("CA", half, 0)), w))
+        else:
+            outs.append((loss_prob, self._sid(("TO", 1, half)),
+                         w - 1))
+
+    def _expand_ca(self, sid: int, state: State, p: float, q: float,
+                   round_rate: float, wmax: int) -> None:
+        _, w, c = state
+        self.rates[sid] = round_rate
+        outs = self.outcomes[sid]
+        # Lossless round: deliver W; grow by one every other round.
+        next_w = min(w + 1, wmax) if c == 1 else w
+        outs.append((q ** w, self._sid(("CA", next_w, 1 - c)), w))
+        self._loss_outcomes(outs, w, p, q)
+
+    def _expand_ss(self, sid: int, state: State, p: float, q: float,
+                   round_rate: float) -> None:
+        _, w, h = state
+        self.rates[sid] = round_rate
+        outs = self.outcomes[sid]
+        # Lossless slow-start round: x1.5 growth under delayed ACKs.
+        grown = min(w + max(w // 2, 1), h)
+        if grown >= h:
+            nxt = self._sid(("CA", h, 0))
+        else:
+            nxt = self._sid(("SS", grown, h))
+        outs.append((q ** w, nxt, w))
+        self._loss_outcomes(outs, w, p, q)
+
+    def _expand_to(self, sid: int, state: State, p: float,
+                   q: float) -> None:
+        _, stage, h = state
+        holding = (self.params.to_ratio * self.params.rtt
+                   * (2.0 ** (stage - 1)))
+        self.rates[sid] = 1.0 / holding
+        outs = self.outcomes[sid]
+        # One retransmission per stage (the paper's Q = 1 packet).
+        if h <= 2:
+            success_next = self._sid(("CA", 2, 0))
+        else:
+            success_next = self._sid(("SS", 2, h))
+        outs.append((q, success_next, 1))
+        next_stage = min(stage + 1, MAX_BACKOFF_STAGE)
+        outs.append((p, self._sid(("TO", next_stage, h)), 0))
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.states)
+
+    def generator(self) -> csc_matrix:
+        """The CTMC generator Q (sparse, states x states)."""
+        n = len(self.states)
+        rows, cols, vals = [], [], []
+        for sid in range(n):
+            rate = self.rates[sid]
+            rows.append(sid)
+            cols.append(sid)
+            vals.append(-rate)
+            for prob, nxt, _ in self.outcomes[sid]:
+                rows.append(sid)
+                cols.append(nxt)
+                vals.append(rate * prob)
+        return csc_matrix((vals, (rows, cols)), shape=(n, n))
+
+    def stationary_distribution(self) -> np.ndarray:
+        """Stationary distribution of the flow chain in isolation."""
+        if self._stationary is None:
+            self._stationary = solve_stationary(self.generator())
+        return self._stationary
+
+    def achievable_throughput(self) -> float:
+        """sigma_k: packets/second delivered by a backlogged flow.
+
+        The stationary rate of successful transmissions,
+        ``sum_i pi_i * rate_i * E[S | state i fires]``.
+        """
+        pi = self.stationary_distribution()
+        sigma = 0.0
+        for sid, weight in enumerate(pi):
+            if weight <= 0.0:
+                continue
+            mean_s = sum(prob * s for prob, _, s in self.outcomes[sid])
+            sigma += weight * self.rates[sid] * mean_s
+        return sigma
+
+    def mean_window(self) -> float:
+        """Stationary mean congestion window (diagnostic)."""
+        pi = self.stationary_distribution()
+        total = 0.0
+        for sid, weight in enumerate(pi):
+            state = self.states[sid]
+            w = state[1] if state[0] in ("CA", "SS") else 1
+            total += weight * w
+        return total
+
+    def timeout_fraction(self) -> float:
+        """Stationary probability of sitting in a timeout state."""
+        pi = self.stationary_distribution()
+        return float(sum(
+            weight for sid, weight in enumerate(pi)
+            if self.states[sid][0] == "TO"))
+
+
+def solve_stationary(generator: csc_matrix) -> np.ndarray:
+    """Solve pi Q = 0, sum(pi) = 1 for an irreducible CTMC.
+
+    Replaces one balance equation with the normalisation constraint and
+    solves the sparse linear system directly.
+    """
+    n = generator.shape[0]
+    a = generator.transpose().tolil()
+    a[n - 1, :] = 1.0
+    b = np.zeros(n)
+    b[n - 1] = 1.0
+    pi = spsolve(csc_matrix(a), b)
+    pi = np.asarray(pi, dtype=float)
+    pi[pi < 0] = 0.0
+    total = pi.sum()
+    if total <= 0:
+        raise ArithmeticError("stationary solve produced a null vector")
+    return pi / total

@@ -1,0 +1,32 @@
+"""Discrete-event, packet-level network simulator.
+
+This subpackage is the repository's substitute for ns-2: an event-driven
+simulator with store-and-forward links, drop-tail queues, static routing
+and packet tracing.  The TCP implementation that runs on top of it lives
+in :mod:`repro.tcp`.
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.link import Link, duplex_link
+from repro.sim.node import Node
+from repro.sim.packet import Packet
+from repro.sim.queueing import DropTailQueue
+from repro.sim.topology import (
+    IndependentPathsTopology,
+    SharedBottleneckTopology,
+)
+from repro.sim.trace import PacketTrace, TraceRecord
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "Packet",
+    "DropTailQueue",
+    "Link",
+    "duplex_link",
+    "Node",
+    "PacketTrace",
+    "TraceRecord",
+    "IndependentPathsTopology",
+    "SharedBottleneckTopology",
+]

@@ -1,0 +1,132 @@
+"""Event loop for the discrete-event simulator.
+
+The engine is a classic calendar built on a binary heap.  Events are
+callbacks scheduled at absolute times; ties are broken by insertion
+order so the simulation is fully deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from typing import Any, Callable, Optional
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are created through :meth:`Simulator.schedule` /
+    :meth:`Simulator.at` and may be cancelled before they fire.  A
+    cancelled event stays in the heap but is skipped by the event loop.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int,
+                 callback: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent this event from firing."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time:.6f} {self.callback!r} {state}>"
+
+
+class Simulator:
+    """Discrete-event simulation kernel.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the simulator-owned random stream.  All stochastic
+        components (background traffic, jitter) must draw from
+        :attr:`rng` so runs are reproducible.
+    """
+
+    def __init__(self, seed: Optional[int] = None):
+        self.now: float = 0.0
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self.rng = random.Random(seed)
+        self._processed = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[..., Any],
+                 *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.at(self.now + delay, callback, *args)
+
+    def at(self, time: float, callback: Callable[..., Any],
+           *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute ``time``."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule in the past: {time} < {self.now}")
+        event = Event(time, next(self._counter), callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the next pending event.  Returns False if none remain."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self._processed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        """Run events until the horizon ``until`` or the heap drains.
+
+        When ``until`` is given the clock is advanced to exactly
+        ``until`` on return, even if the last event fired earlier.
+        """
+        processed = 0
+        while self._heap:
+            event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and event.time > until:
+                break
+            heapq.heappop(self._heap)
+            self.now = event.time
+            self._processed += 1
+            event.callback(*event.args)
+            processed += 1
+            if max_events is not None and processed >= max_events:
+                return
+        if until is not None and self.now < until:
+            self.now = until
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events executed so far."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still in the calendar (including cancelled)."""
+        return len(self._heap)

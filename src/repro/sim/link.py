@@ -1,0 +1,114 @@
+"""Point-to-point links with serialisation, propagation and buffering."""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.sim.engine import Simulator
+from repro.sim.packet import Packet
+from repro.sim.queueing import DropTailQueue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.node import Node
+    from repro.sim.trace import PacketTrace
+
+
+class Link:
+    """A unidirectional store-and-forward link.
+
+    A packet offered to the link enters the buffer; the transmitter
+    serialises buffered packets one at a time at ``bandwidth_bps`` and
+    each transmitted packet is delivered to the downstream node after
+    ``delay_s`` of propagation.  Losses happen only by buffer overflow.
+    """
+
+    def __init__(self, sim: Simulator, src: "Node", dst: "Node",
+                 bandwidth_bps: float, delay_s: float,
+                 queue_limit_pkts: int = 50,
+                 queue: Optional[DropTailQueue] = None,
+                 trace: Optional["PacketTrace"] = None,
+                 name: Optional[str] = None):
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if delay_s < 0:
+            raise ValueError("propagation delay must be non-negative")
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.bandwidth_bps = bandwidth_bps
+        self.delay_s = delay_s
+        self.queue = queue if queue is not None \
+            else DropTailQueue(queue_limit_pkts)
+        self.trace = trace
+        self.name = name or f"{src.name}->{dst.name}"
+        self._busy = False
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        src.register_link(self)
+
+    # ------------------------------------------------------------------
+    def enqueue(self, packet: Packet) -> None:
+        """Offer a packet to the link buffer (drop-tail on overflow)."""
+        if not self.queue.offer(packet):
+            if self.trace is not None:
+                self.trace.record(self.sim.now, "drop", self.name, packet)
+            return
+        if self.trace is not None:
+            self.trace.record(self.sim.now, "enqueue", self.name, packet)
+        if not self._busy:
+            self._transmit_next()
+
+    def _transmit_next(self) -> None:
+        packet = self.queue.pop()
+        if packet is None:
+            self._busy = False
+            return
+        self._busy = True
+        tx_time = packet.size * 8.0 / self.bandwidth_bps
+        self.sim.schedule(tx_time, self._tx_done, packet)
+
+    def _tx_done(self, packet: Packet) -> None:
+        self.tx_packets += 1
+        self.tx_bytes += packet.size
+        if self.trace is not None:
+            self.trace.record(self.sim.now, "send", self.name, packet)
+        self.sim.schedule(self.delay_s, self._deliver, packet)
+        self._transmit_next()
+
+    def _deliver(self, packet: Packet) -> None:
+        packet.hops += 1
+        if self.trace is not None:
+            self.trace.record(self.sim.now, "recv", self.name, packet)
+        self.dst.receive(packet)
+
+    # ------------------------------------------------------------------
+    @property
+    def drops(self) -> int:
+        return self.queue.drops
+
+    @property
+    def utilisation_bytes(self) -> int:
+        return self.tx_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Link {self.name} {self.bandwidth_bps / 1e6:.2f}Mbps "
+                f"{self.delay_s * 1e3:.1f}ms q={len(self.queue)}/"
+                f"{self.queue.capacity}>")
+
+
+def duplex_link(sim: Simulator, a: "Node", b: "Node",
+                bandwidth_bps: float, delay_s: float,
+                queue_limit_pkts: int = 50,
+                trace: Optional["PacketTrace"] = None) -> tuple:
+    """Create a pair of symmetric links ``a -> b`` and ``b -> a``.
+
+    Routes for the two endpoints are installed automatically; transit
+    routes (for multi-hop paths) must be added by the topology builder.
+    """
+    forward = Link(sim, a, b, bandwidth_bps, delay_s, queue_limit_pkts,
+                   trace=trace)
+    backward = Link(sim, b, a, bandwidth_bps, delay_s, queue_limit_pkts,
+                    trace=trace)
+    a.add_route(b.name, forward)
+    b.add_route(a.name, backward)
+    return forward, backward

@@ -1,0 +1,88 @@
+"""Time-varying link capacity: outages and on/off modulation.
+
+Link bandwidth is sampled at each serialisation start, so mutating
+``link.bandwidth_bps`` at scheduled times yields a time-varying path.
+:class:`OnOffLinkModulator` drives the square-wave pattern of the
+paper's Section 7.3 (periodic alternation between a nominal and a
+degraded rate); :class:`ScheduledLinkModulator` replays an arbitrary
+piecewise-constant bandwidth trace.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+
+# A fully "off" path still needs a positive serialisation rate; this
+# is slow enough (~1 pkt per 12 s at 1500 B) to be an outage.
+OFF_BANDWIDTH_BPS = 1e3
+
+
+class OnOffLinkModulator:
+    """Square-wave capacity: ``on_bandwidth`` for ``on_time`` seconds,
+    then ``off_bandwidth``, repeating with ``period``."""
+
+    def __init__(self, sim: Simulator, link: Link,
+                 on_bandwidth_bps: float,
+                 off_bandwidth_bps: float = OFF_BANDWIDTH_BPS,
+                 period: float = 10.0, on_time: float = 5.0,
+                 phase: float = 0.0):
+        if not 0 < on_time <= period:
+            raise ValueError("need 0 < on_time <= period")
+        if on_bandwidth_bps <= 0 or off_bandwidth_bps <= 0:
+            raise ValueError("bandwidths must be positive")
+        self.sim = sim
+        self.link = link
+        self.on_bandwidth_bps = on_bandwidth_bps
+        self.off_bandwidth_bps = off_bandwidth_bps
+        self.period = period
+        self.on_time = on_time
+        self.transitions = 0
+        offset = phase % period
+        # Establish the state at t = now and schedule the next flip.
+        if offset < on_time:
+            link.bandwidth_bps = on_bandwidth_bps
+            sim.schedule(on_time - offset, self._go_off)
+        else:
+            link.bandwidth_bps = off_bandwidth_bps
+            sim.schedule(period - offset, self._go_on)
+
+    def _go_on(self) -> None:
+        self.link.bandwidth_bps = self.on_bandwidth_bps
+        self.transitions += 1
+        self.sim.schedule(self.on_time, self._go_off)
+
+    def _go_off(self) -> None:
+        self.link.bandwidth_bps = self.off_bandwidth_bps
+        self.transitions += 1
+        self.sim.schedule(self.period - self.on_time, self._go_on)
+
+
+class ScheduledLinkModulator:
+    """Replay a piecewise-constant bandwidth trace onto a link.
+
+    ``schedule`` is a sequence of ``(time, bandwidth_bps)`` pairs with
+    strictly increasing times (relative to now); each entry switches
+    the link to that bandwidth at that time.
+    """
+
+    def __init__(self, sim: Simulator, link: Link,
+                 schedule: Sequence[Tuple[float, float]]):
+        last_time = -1.0
+        for when, bandwidth in schedule:
+            if when <= last_time:
+                raise ValueError("schedule times must increase")
+            if bandwidth <= 0:
+                raise ValueError("bandwidths must be positive")
+            last_time = when
+        self.sim = sim
+        self.link = link
+        self.applied: List[Tuple[float, float]] = []
+        for when, bandwidth in schedule:
+            sim.schedule(when, self._apply, bandwidth)
+
+    def _apply(self, bandwidth: float) -> None:
+        self.link.bandwidth_bps = bandwidth
+        self.applied.append((self.sim.now, bandwidth))

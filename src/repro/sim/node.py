@@ -1,0 +1,106 @@
+"""Network nodes: routing and agent demultiplexing."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Protocol, TYPE_CHECKING
+
+from repro.sim.engine import Simulator
+from repro.sim.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.link import Link
+
+
+class Agent(Protocol):
+    """Anything that can be bound to a node port and receive packets."""
+
+    def handle_packet(self, packet: Packet) -> None:  # pragma: no cover
+        ...
+
+
+class Node:
+    """A host or router.
+
+    A node forwards packets whose destination is another node (static
+    routing table, longest-match not needed at this scale) and
+    demultiplexes packets addressed to itself to the agent bound on the
+    destination port.
+    """
+
+    def __init__(self, sim: Simulator, name: str):
+        self.sim = sim
+        self.name = name
+        self._routes: Dict[str, "Link"] = {}
+        self._agents: Dict[int, Agent] = {}
+        self._links: list = []
+        self._next_port = 1
+        self.forwarded = 0
+        self.delivered = 0
+        self.dead_letters = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def register_link(self, link: "Link") -> None:
+        """Record a link that originates at this node."""
+        self._links.append(link)
+
+    def add_route(self, dst_name: str, link: "Link") -> None:
+        """Install/replace the next-hop link towards ``dst_name``."""
+        if link.src is not self:
+            raise ValueError(
+                f"route via a link not originating at {self.name}")
+        self._routes[dst_name] = link
+
+    def route_for(self, dst_name: str) -> Optional["Link"]:
+        return self._routes.get(dst_name)
+
+    def bind(self, agent: Agent, port: Optional[int] = None) -> int:
+        """Attach an agent on a port; returns the port number."""
+        if port is None:
+            while self._next_port in self._agents:
+                self._next_port += 1
+            port = self._next_port
+            self._next_port += 1
+        if port in self._agents:
+            raise ValueError(f"port {port} already bound on {self.name}")
+        self._agents[port] = agent
+        return port
+
+    def unbind(self, port: int) -> None:
+        self._agents.pop(port, None)
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet) -> None:
+        """Inject a locally generated packet into the network."""
+        if packet.dst == self.name:
+            # Loopback delivery happens immediately.
+            self.receive(packet)
+            return
+        link = self._routes.get(packet.dst)
+        if link is None:
+            self.dead_letters += 1
+            return
+        link.enqueue(packet)
+
+    def receive(self, packet: Packet) -> None:
+        """Handle a packet arriving from a link (forward or deliver)."""
+        if packet.dst != self.name:
+            link = self._routes.get(packet.dst)
+            if link is None:
+                self.dead_letters += 1
+                return
+            self.forwarded += 1
+            link.enqueue(packet)
+            return
+        agent = self._agents.get(packet.dport)
+        if agent is None:
+            self.dead_letters += 1
+            return
+        self.delivered += 1
+        agent.handle_packet(packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Node {self.name} routes={sorted(self._routes)}>"

@@ -1,0 +1,98 @@
+"""Queueing disciplines for link buffers.
+
+The paper's ns-2 setup uses drop-tail (FIFO) buffers sized in packets
+(Table 1); that is the default here.  A RED variant is provided for
+ablation experiments.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.sim.packet import Packet
+
+
+class DropTailQueue:
+    """FIFO queue with a hard capacity in packets.
+
+    Packets offered to a full queue are dropped (drop-tail), which is
+    the loss process the paper's validation relies on: "packets are
+    lost due to buffer overflow".
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("queue capacity must be >= 1 packet")
+        self.capacity = capacity
+        self._queue: deque = deque()
+        self.drops = 0
+        self.enqueued = 0
+
+    def offer(self, packet: Packet) -> bool:
+        """Try to enqueue; returns False (and counts a drop) if full."""
+        if len(self._queue) >= self.capacity:
+            self.drops += 1
+            return False
+        self._queue.append(packet)
+        self.enqueued += 1
+        return True
+
+    def pop(self) -> Optional[Packet]:
+        """Dequeue the head packet, or None when empty."""
+        if not self._queue:
+            return None
+        return self._queue.popleft()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def drop_fraction(self) -> float:
+        """Fraction of offered packets that were dropped."""
+        offered = self.enqueued + self.drops
+        return self.drops / offered if offered else 0.0
+
+
+class REDQueue(DropTailQueue):
+    """Random Early Detection queue (gentle RED).
+
+    Not used by the headline reproduction (the paper uses drop-tail)
+    but provided for the ablation benchmarks on the loss process.
+    """
+
+    def __init__(self, capacity: int, min_th: Optional[float] = None,
+                 max_th: Optional[float] = None, max_p: float = 0.1,
+                 weight: float = 0.002, rng=None):
+        super().__init__(capacity)
+        self.min_th = min_th if min_th is not None else capacity / 5.0
+        self.max_th = max_th if max_th is not None else capacity / 2.0
+        if self.min_th >= self.max_th:
+            raise ValueError("RED requires min_th < max_th")
+        self.max_p = max_p
+        self.weight = weight
+        self.avg = 0.0
+        if rng is None:
+            import random
+            rng = random.Random(0)
+        self._rng = rng
+
+    def offer(self, packet: Packet) -> bool:
+        self.avg = (1.0 - self.weight) * self.avg \
+            + self.weight * len(self._queue)
+        if len(self._queue) >= self.capacity:
+            self.drops += 1
+            return False
+        if self.avg >= self.max_th:
+            drop_p = 1.0
+        elif self.avg >= self.min_th:
+            span = self.max_th - self.min_th
+            drop_p = self.max_p * (self.avg - self.min_th) / span
+        else:
+            drop_p = 0.0
+        if drop_p > 0.0 and self._rng.random() < drop_p:
+            self.drops += 1
+            return False
+        self._queue.append(packet)
+        self.enqueued += 1
+        return True

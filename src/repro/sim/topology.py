@@ -1,0 +1,169 @@
+"""Topology builders for the paper's validation settings.
+
+Two topologies are used in Section 5:
+
+* Fig. 3 — *independent paths*: the (multihomed) server reaches the
+  (multihomed) client over K disjoint paths, each with its own
+  bottleneck link ``r_k1 -> r_k2`` shared with background flows.
+* Fig. 6 — *correlated paths*: both video TCP flows traverse the same
+  single bottleneck ``r1 -> r2``.
+
+Multihoming is modelled by giving the client one node (interface) per
+path; agents may bind to several interfaces at once.  Access links are
+100 Mbps with 10 ms propagation delay as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.link import Link, duplex_link
+from repro.sim.node import Node
+from repro.sim.trace import PacketTrace
+
+ACCESS_BANDWIDTH_BPS = 100e6
+ACCESS_DELAY_S = 0.010
+
+
+@dataclass
+class BottleneckSpec:
+    """Physical parameters of one bottleneck link (one row of Table 1)."""
+
+    bandwidth_bps: float
+    delay_s: float
+    buffer_pkts: int
+
+
+@dataclass
+class PathHandles:
+    """Attachment points for one server->client path."""
+
+    index: int
+    server_if: Node
+    client_if: Node
+    ingress_router: Node
+    egress_router: Node
+    bottleneck_fwd: Link
+    bottleneck_rev: Link
+    bg_source_host: Node
+    bg_sink_host: Node
+
+
+class IndependentPathsTopology:
+    """The Fig. 3 topology with K independent bottleneck paths."""
+
+    def __init__(self, sim: Simulator, specs: List[BottleneckSpec],
+                 trace: Optional[PacketTrace] = None):
+        if not specs:
+            raise ValueError("need at least one path spec")
+        self.sim = sim
+        self.trace = trace
+        self.server = Node(sim, "server")
+        self.paths: List[PathHandles] = []
+        for k, spec in enumerate(specs, start=1):
+            self.paths.append(self._build_path(k, spec))
+
+    def _build_path(self, k: int, spec: BottleneckSpec) -> PathHandles:
+        sim = self.sim
+        r_in = Node(sim, f"r{k}1")
+        r_out = Node(sim, f"r{k}2")
+        client_if = Node(sim, f"client{k}")
+        bg_src = Node(sim, f"bgsrc{k}")
+        bg_sink = Node(sim, f"bgsink{k}")
+
+        # Access and egress links are fat (never the bottleneck).
+        duplex_link(sim, self.server, r_in, ACCESS_BANDWIDTH_BPS,
+                    ACCESS_DELAY_S, queue_limit_pkts=1000)
+        duplex_link(sim, r_out, client_if, ACCESS_BANDWIDTH_BPS,
+                    ACCESS_DELAY_S, queue_limit_pkts=1000)
+        duplex_link(sim, bg_src, r_in, ACCESS_BANDWIDTH_BPS,
+                    ACCESS_DELAY_S, queue_limit_pkts=1000)
+        duplex_link(sim, r_out, bg_sink, ACCESS_BANDWIDTH_BPS,
+                    ACCESS_DELAY_S, queue_limit_pkts=1000)
+
+        # The bottleneck itself, traced if requested.
+        fwd = Link(sim, r_in, r_out, spec.bandwidth_bps, spec.delay_s,
+                   spec.buffer_pkts, trace=self.trace)
+        rev = Link(sim, r_out, r_in, spec.bandwidth_bps, spec.delay_s,
+                   spec.buffer_pkts, trace=self.trace)
+        r_in.add_route(r_out.name, fwd)
+        r_out.add_route(r_in.name, rev)
+
+        # Transit routes.
+        for dst in (client_if, bg_sink):
+            self.server.add_route(
+                dst.name, self.server.route_for(r_in.name))
+            bg_src.add_route(dst.name, bg_src.route_for(r_in.name))
+            r_in.add_route(dst.name, fwd)
+        for dst_name in (self.server.name, bg_src.name):
+            r_out.add_route(dst_name, rev)
+            client_if.add_route(
+                dst_name, client_if.route_for(r_out.name))
+            bg_sink.add_route(
+                dst_name, bg_sink.route_for(r_out.name))
+
+        return PathHandles(
+            index=k, server_if=self.server, client_if=client_if,
+            ingress_router=r_in, egress_router=r_out,
+            bottleneck_fwd=fwd, bottleneck_rev=rev,
+            bg_source_host=bg_src, bg_sink_host=bg_sink)
+
+
+class SharedBottleneckTopology:
+    """The Fig. 6 topology: every flow crosses the same bottleneck."""
+
+    def __init__(self, sim: Simulator, spec: BottleneckSpec,
+                 trace: Optional[PacketTrace] = None,
+                 n_paths: int = 2):
+        self.sim = sim
+        self.trace = trace
+        self.server = Node(sim, "server")
+        self.client = Node(sim, "client")
+        r1 = Node(sim, "r1")
+        r2 = Node(sim, "r2")
+        bg_src = Node(sim, "bgsrc")
+        bg_sink = Node(sim, "bgsink")
+
+        duplex_link(sim, self.server, r1, ACCESS_BANDWIDTH_BPS,
+                    ACCESS_DELAY_S, queue_limit_pkts=1000)
+        duplex_link(sim, r2, self.client, ACCESS_BANDWIDTH_BPS,
+                    ACCESS_DELAY_S, queue_limit_pkts=1000)
+        duplex_link(sim, bg_src, r1, ACCESS_BANDWIDTH_BPS,
+                    ACCESS_DELAY_S, queue_limit_pkts=1000)
+        duplex_link(sim, r2, bg_sink, ACCESS_BANDWIDTH_BPS,
+                    ACCESS_DELAY_S, queue_limit_pkts=1000)
+
+        fwd = Link(sim, r1, r2, spec.bandwidth_bps, spec.delay_s,
+                   spec.buffer_pkts, trace=trace)
+        rev = Link(sim, r2, r1, spec.bandwidth_bps, spec.delay_s,
+                   spec.buffer_pkts, trace=trace)
+        r1.add_route(r2.name, fwd)
+        r2.add_route(r1.name, rev)
+
+        for dst in (self.client, bg_sink):
+            self.server.add_route(
+                dst.name, self.server.route_for(r1.name))
+            bg_src.add_route(dst.name, bg_src.route_for(r1.name))
+            r1.add_route(dst.name, fwd)
+        for dst_name in (self.server.name, bg_src.name):
+            r2.add_route(dst_name, rev)
+            self.client.add_route(
+                dst_name, self.client.route_for(r2.name))
+            bg_sink.add_route(
+                dst_name, bg_sink.route_for(r2.name))
+
+        self.ingress_router = r1
+        self.egress_router = r2
+        self.bottleneck_fwd = fwd
+        self.bottleneck_rev = rev
+        self.bg_source_host = bg_src
+        self.bg_sink_host = bg_sink
+        # Both "paths" share all handles in the correlated topology.
+        shared = PathHandles(
+            index=1, server_if=self.server, client_if=self.client,
+            ingress_router=r1, egress_router=r2, bottleneck_fwd=fwd,
+            bottleneck_rev=rev, bg_source_host=bg_src,
+            bg_sink_host=bg_sink)
+        self.paths = [shared] * n_paths

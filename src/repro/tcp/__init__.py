@@ -1,0 +1,21 @@
+"""TCP Reno on top of :mod:`repro.sim`.
+
+The implementation is segment-granular (sequence numbers count MSS-sized
+segments, matching the paper's packets-per-second units) and includes
+slow start, congestion avoidance, fast retransmit / fast recovery,
+retransmission timeouts with exponential backoff and Karn's rule, and a
+delayed-ACK receiver.  The sender exposes a bounded send buffer with a
+"writable" callback, which is exactly the blocking primitive
+DMP-streaming relies on (Fig. 2 of the paper).
+"""
+
+from repro.tcp.estimator import RttEstimator
+from repro.tcp.newreno import NewRenoSender
+from repro.tcp.receiver import TcpReceiver
+from repro.tcp.reno import RenoSender
+from repro.tcp.sack import SackSender
+from repro.tcp.socket import SENDER_VARIANTS, TcpConnection
+
+__all__ = ["RttEstimator", "RenoSender", "NewRenoSender",
+           "SackSender", "TcpReceiver", "TcpConnection",
+           "SENDER_VARIANTS"]

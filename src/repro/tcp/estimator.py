@@ -1,0 +1,66 @@
+"""Round-trip time estimation and retransmission-timer computation.
+
+Implements the Jacobson/Karels estimator with Karn's rule handled by the
+caller (retransmitted segments are never timed).  The minimum RTO
+defaults to 200 ms, matching ns-2's ``minrto_`` style configuration used
+in studies of this era; the paper reports T_O = RTO/RTT between 1.6 and
+3.3, which requires a sub-second minimum.
+"""
+
+from __future__ import annotations
+
+
+class RttEstimator:
+    """EWMA smoothed RTT + mean deviation, a la RFC 6298 / Jacobson."""
+
+    def __init__(self, alpha: float = 0.125, beta: float = 0.25,
+                 k: float = 4.0, min_rto: float = 0.2,
+                 max_rto: float = 64.0, initial_rto: float = 3.0,
+                 granularity: float = 0.0):
+        if not 0.0 < alpha < 1.0 or not 0.0 < beta < 1.0:
+            raise ValueError("alpha and beta must lie in (0, 1)")
+        if min_rto <= 0 or max_rto < min_rto:
+            raise ValueError("need 0 < min_rto <= max_rto")
+        self.alpha = alpha
+        self.beta = beta
+        self.k = k
+        self.min_rto = min_rto
+        self.max_rto = max_rto
+        self.granularity = granularity
+        self.srtt: float | None = None
+        self.rttvar: float = 0.0
+        self._base_rto = initial_rto
+        self.samples = 0
+        self.sample_sum = 0.0
+
+    def observe(self, rtt: float) -> None:
+        """Feed one RTT sample (seconds) into the estimator."""
+        if rtt < 0:
+            raise ValueError("RTT samples must be non-negative")
+        self.samples += 1
+        self.sample_sum += rtt
+        if self.srtt is None:
+            self.srtt = rtt
+            self.rttvar = rtt / 2.0
+        else:
+            err = rtt - self.srtt
+            self.srtt += self.alpha * err
+            self.rttvar += self.beta * (abs(err) - self.rttvar)
+        rto = self.srtt + self.k * max(self.rttvar, self.granularity)
+        self._base_rto = min(max(rto, self.min_rto), self.max_rto)
+
+    @property
+    def rto(self) -> float:
+        """Current retransmission timeout (before any backoff)."""
+        return self._base_rto
+
+    @property
+    def mean_rtt(self) -> float:
+        """Arithmetic mean of all samples (0 when none observed)."""
+        return self.sample_sum / self.samples if self.samples else 0.0
+
+    def backed_off(self, exponent: int) -> float:
+        """RTO after ``exponent`` consecutive timeouts (doubling, capped)."""
+        if exponent < 0:
+            raise ValueError("backoff exponent must be >= 0")
+        return min(self._base_rto * (2.0 ** exponent), self.max_rto)

@@ -1,0 +1,6 @@
+"""Background traffic generators (the FTP and HTTP flows of Table 1)."""
+
+from repro.traffic.ftp import FtpFlow
+from repro.traffic.http import HttpFlow
+
+__all__ = ["FtpFlow", "HttpFlow"]

@@ -1,0 +1,56 @@
+"""Backlogged FTP background flows.
+
+An FTP flow is a TCP connection whose application always has data to
+send — it simply keeps the socket send buffer full.  These are the
+long-lived flows that create sustained congestion on the bottleneck
+links in the paper's Table 1 configurations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.node import Node
+from repro.tcp.socket import TcpConnection
+
+
+class FtpFlow:
+    """An infinitely backlogged TCP source.
+
+    Parameters
+    ----------
+    start_at:
+        Start time; staggering starts avoids global synchronisation of
+        the background flows.
+    """
+
+    def __init__(self, sim: Simulator, src_node: Node, dst_node: Node,
+                 segment_bytes: int = 1500,
+                 send_buffer_pkts: int = 64,
+                 start_at: float = 0.0,
+                 name: Optional[str] = None):
+        self.sim = sim
+        self.connection = TcpConnection(
+            sim, src_node, dst_node, segment_bytes=segment_bytes,
+            send_buffer_pkts=send_buffer_pkts,
+            on_send_space=self._refill,
+            name=name or f"ftp:{src_node.name}->{dst_node.name}")
+        self.started = False
+        sim.at(max(start_at, sim.now), self.start)
+
+    def start(self) -> None:
+        if self.started:
+            return
+        self.started = True
+        self._refill(self.connection)
+
+    def _refill(self, connection: TcpConnection) -> None:
+        if not self.started:
+            return
+        while connection.can_write():
+            connection.write(None)
+
+    @property
+    def delivered(self) -> int:
+        return self.connection.delivered

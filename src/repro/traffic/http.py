@@ -1,0 +1,84 @@
+"""On-off HTTP-like background flows.
+
+Each HTTP flow alternates between transferring a web object over TCP
+and an idle think time.  Object sizes are Pareto distributed (heavy
+tail, the classic web-workload choice in ns-2 studies) and think times
+are exponential.  A fresh congestion window is used for every transfer,
+approximating a new connection per request.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.node import Node
+from repro.tcp.socket import TcpConnection
+
+DEFAULT_MEAN_OBJECT_PKTS = 10.0
+DEFAULT_PARETO_SHAPE = 1.2
+DEFAULT_MEAN_THINK_S = 6.0
+
+
+class HttpFlow:
+    """One emulated web user: request, transfer, think, repeat."""
+
+    def __init__(self, sim: Simulator, src_node: Node, dst_node: Node,
+                 segment_bytes: int = 1500,
+                 mean_object_pkts: float = DEFAULT_MEAN_OBJECT_PKTS,
+                 pareto_shape: float = DEFAULT_PARETO_SHAPE,
+                 mean_think_s: float = DEFAULT_MEAN_THINK_S,
+                 start_at: float = 0.0,
+                 name: Optional[str] = None):
+        if pareto_shape <= 1.0:
+            raise ValueError("pareto shape must exceed 1 (finite mean)")
+        self.sim = sim
+        self.mean_object_pkts = mean_object_pkts
+        self.pareto_shape = pareto_shape
+        self.mean_think_s = mean_think_s
+        self._remaining = 0
+        self._transferring = False
+        self.transfers_completed = 0
+        self.connection = TcpConnection(
+            sim, src_node, dst_node, segment_bytes=segment_bytes,
+            send_buffer_pkts=32, on_send_space=self._feed,
+            name=name or f"http:{src_node.name}->{dst_node.name}")
+        sim.at(max(start_at, sim.now), self._start_transfer)
+
+    # ------------------------------------------------------------------
+    def _draw_object_pkts(self) -> int:
+        shape = self.pareto_shape
+        scale = self.mean_object_pkts * (shape - 1.0) / shape
+        u = self.sim.rng.random()
+        size = scale / (u ** (1.0 / shape))
+        return max(1, int(round(size)))
+
+    def _start_transfer(self) -> None:
+        self._transferring = True
+        self._remaining = self._draw_object_pkts()
+        # Approximate a fresh connection: restart from slow start.
+        sender = self.connection.sender
+        sender.cwnd = sender.init_cwnd
+        sender.ssthresh = float("inf")
+        self._feed(self.connection)
+
+    def _feed(self, connection: TcpConnection) -> None:
+        if not self._transferring:
+            return
+        while self._remaining > 0 and connection.can_write():
+            payload = "last" if self._remaining == 1 else None
+            connection.write(payload)
+            self._remaining -= 1
+        if self._remaining == 0 and connection.sender.outstanding == 0 \
+                and connection.sender.buffered == 0:
+            self._finish_transfer()
+
+    def _finish_transfer(self) -> None:
+        self._transferring = False
+        self.transfers_completed += 1
+        think = self.sim.rng.expovariate(1.0 / self.mean_think_s)
+        self.sim.schedule(think, self._start_transfer)
+
+    @property
+    def delivered(self) -> int:
+        return self.connection.delivered

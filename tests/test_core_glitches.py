@@ -1,0 +1,86 @@
+"""Tests for glitch-run statistics."""
+
+import pytest
+
+from repro.core.metrics import glitch_statistics
+
+
+def arrivals_from_late_pattern(pattern, mu=10.0, tau=1.0):
+    """Build arrivals where pattern[i] says packet i is late."""
+    out = []
+    for i, late in enumerate(pattern):
+        deadline = tau + i / mu
+        out.append((i, deadline + 0.5 if late else deadline - 0.1))
+    return out
+
+
+def test_no_glitches():
+    arrivals = arrivals_from_late_pattern([False] * 10)
+    stats = glitch_statistics(arrivals, 10.0, 1.0)
+    assert stats.glitch_count == 0
+    assert stats.late_packets == 0
+    assert stats.max_length == 0
+    assert stats.mean_length == 0.0
+
+
+def test_single_glitch_run():
+    pattern = [False, True, True, True, False]
+    stats = glitch_statistics(arrivals_from_late_pattern(pattern),
+                              10.0, 1.0)
+    assert stats.glitch_count == 1
+    assert stats.late_packets == 3
+    assert stats.max_length == 3
+    assert stats.mean_length == 3.0
+
+
+def test_multiple_runs():
+    pattern = [True, False, True, True, False, True, True, True]
+    stats = glitch_statistics(arrivals_from_late_pattern(pattern),
+                              10.0, 1.0)
+    assert stats.glitch_count == 3
+    assert stats.late_packets == 6
+    assert stats.max_length == 3
+    assert stats.mean_length == pytest.approx(2.0)
+
+
+def test_trailing_run_counted():
+    pattern = [False, True, True]
+    stats = glitch_statistics(arrivals_from_late_pattern(pattern),
+                              10.0, 1.0)
+    assert stats.glitch_count == 1
+    assert stats.max_length == 2
+
+
+def test_missing_packets_extend_runs():
+    arrivals = [(0, 0.5), (3, 1.0)]  # 1 and 2 never arrive
+    stats = glitch_statistics(arrivals, mu=10.0, tau=1.0,
+                              total_packets=4)
+    assert stats.glitch_count == 1
+    assert stats.late_packets == 2
+    assert stats.max_length == 2
+
+
+def test_missing_not_late_when_disabled():
+    arrivals = [(0, 0.5), (3, 1.0)]
+    stats = glitch_statistics(arrivals, mu=10.0, tau=1.0,
+                              total_packets=4, missing_as_late=False)
+    assert stats.glitch_count == 0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        glitch_statistics([(0, 0.0)], mu=0.0, tau=1.0)
+    with pytest.raises(ValueError):
+        glitch_statistics([(0, 0.0), (1, 0.1)], mu=1.0, tau=1.0,
+                          total_packets=1)
+
+
+def test_consistent_with_late_fraction():
+    from repro.core.metrics import late_fraction
+    import random
+    rng = random.Random(5)
+    arrivals = [(i, i / 20 + rng.uniform(0, 2)) for i in range(200)]
+    tau = 1.0
+    stats = glitch_statistics(arrivals, 20.0, tau)
+    frac = late_fraction(arrivals, 20.0, tau)
+    assert stats.late_packets == round(frac * 200)

@@ -1,0 +1,108 @@
+"""Unit tests for the DMP server queue and its lock protocol."""
+
+import pytest
+
+from repro.core.packets import VideoPacket
+from repro.core.server_queue import ServerQueue
+
+
+def vp(number, t=0.0):
+    return VideoPacket(number=number, generated_at=t)
+
+
+def test_fifo_by_packet_number():
+    queue = ServerQueue()
+    for i in range(5):
+        queue.push(vp(i))
+    owner = object()
+    assert queue.acquire(owner)
+    got = [queue.fetch(owner).number for _ in range(5)]
+    assert got == [0, 1, 2, 3, 4]
+
+
+def test_push_requires_increasing_numbers():
+    queue = ServerQueue()
+    queue.push(vp(3))
+    with pytest.raises(ValueError):
+        queue.push(vp(3))
+    with pytest.raises(ValueError):
+        queue.push(vp(1))
+
+
+def test_fetch_requires_lock():
+    queue = ServerQueue()
+    queue.push(vp(0))
+    with pytest.raises(RuntimeError):
+        queue.fetch(object())
+
+
+def test_lock_is_exclusive():
+    queue = ServerQueue()
+    first, second = object(), object()
+    assert queue.acquire(first)
+    assert not queue.acquire(second)
+    queue.release(first)
+    assert queue.acquire(second)
+
+
+def test_lock_reentrant_for_owner():
+    queue = ServerQueue()
+    owner = object()
+    assert queue.acquire(owner)
+    assert queue.acquire(owner)
+
+
+def test_release_by_non_owner_is_noop():
+    queue = ServerQueue()
+    owner, other = object(), object()
+    queue.acquire(owner)
+    queue.release(other)
+    assert not queue.acquire(other)  # still held by owner
+
+
+def test_fetch_empty_returns_none():
+    queue = ServerQueue()
+    owner = object()
+    queue.acquire(owner)
+    assert queue.fetch(owner) is None
+
+
+def test_counters_and_depth():
+    queue = ServerQueue()
+    for i in range(4):
+        queue.push(vp(i))
+    assert queue.max_depth == 4
+    owner = object()
+    queue.acquire(owner)
+    queue.fetch(owner)
+    assert queue.enqueued == 4
+    assert queue.fetched == 1
+    assert len(queue) == 3
+    assert not queue.is_empty
+
+
+def test_peek_does_not_consume():
+    queue = ServerQueue()
+    queue.push(vp(7))
+    assert queue.peek().number == 7
+    assert len(queue) == 1
+
+
+def test_each_packet_fetched_exactly_once():
+    queue = ServerQueue()
+    for i in range(100):
+        queue.push(vp(i))
+    owners = [object(), object()]
+    fetched = []
+    turn = 0
+    while not queue.is_empty:
+        owner = owners[turn % 2]
+        queue.acquire(owner)
+        for _ in range(3):
+            packet = queue.fetch(owner)
+            if packet is None:
+                break
+            fetched.append(packet.number)
+        queue.release(owner)
+        turn += 1
+    assert fetched == list(range(100))

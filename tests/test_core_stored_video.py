@@ -1,0 +1,95 @@
+"""Tests for the stored-video extension."""
+
+import pytest
+
+from repro.core.client import StreamClient
+from repro.core.metrics import late_fraction
+from repro.core.server_queue import ServerQueue
+from repro.core.source import StoredVideoSource, VideoSource
+from repro.core.streamers import DmpStreamer
+from repro.sim.engine import Simulator
+from repro.sim.link import duplex_link
+from repro.sim.node import Node
+from repro.tcp.socket import TcpConnection
+
+
+def test_stored_source_generates_everything_at_start():
+    sim = Simulator()
+    queue = ServerQueue()
+    source = StoredVideoSource(sim, queue, mu=10, duration_s=3.0,
+                               start_at=5.0)
+    sim.run(until=4.99)
+    assert source.generated == 0
+    sim.run(until=5.0)
+    assert source.generated == 30
+    assert len(queue) == 30
+    assert source.finished
+
+
+def test_stored_source_listeners_fire_in_order():
+    sim = Simulator()
+    seen = []
+    source = StoredVideoSource(sim, None, mu=10, duration_s=1.0)
+    source.add_listener(lambda p: seen.append(p.number))
+    sim.run()
+    assert seen == list(range(10))
+
+
+def build_stream(source_cls, seed=3, mu=60, duration=30.0):
+    sim = Simulator(seed=seed)
+    server = Node(sim, "server")
+    client = StreamClient()
+    connections = []
+    for k in (1, 2):
+        client_if = Node(sim, f"client{k}")
+        # Below-demand links: aggregate ~66 pkts/s for mu=60.
+        duplex_link(sim, server, client_if, 4e5, 0.02,
+                    queue_limit_pkts=50)
+        connections.append(TcpConnection(
+            sim, server, client_if, send_buffer_pkts=16,
+            on_deliver=client.deliver_callback(f"path{k}")))
+    streamer = DmpStreamer(sim, connections)
+    source = source_cls(sim, streamer.queue, mu=mu,
+                        duration_s=duration)
+    streamer.attach_source(source)
+    sim.run(until=duration + 60.0)
+    return client, source
+
+
+def test_stored_delivery_complete_and_unique():
+    client, source = build_stream(StoredVideoSource)
+    assert client.received == source.total_packets
+    assert client.duplicates == 0
+
+
+def test_stored_no_worse_than_live():
+    live_client, source = build_stream(VideoSource)
+    stored_client, _ = build_stream(StoredVideoSource)
+    for tau in (1.0, 3.0, 6.0):
+        f_live = late_fraction(live_client.arrivals, 60, tau,
+                               total_packets=source.total_packets)
+        f_stored = late_fraction(stored_client.arrivals, 60, tau,
+                                 total_packets=source.total_packets)
+        assert f_stored <= f_live + 1e-9
+
+
+def test_stored_can_prefetch_beyond_live_bound():
+    """With ample bandwidth a stored stream downloads far faster than
+    real time — early packets exceed any mu*tau live bound."""
+    sim = Simulator(seed=1)
+    server = Node(sim, "server")
+    client = StreamClient()
+    client_if = Node(sim, "client1")
+    duplex_link(sim, server, client_if, 1e7, 0.01,
+                queue_limit_pkts=200)
+    conn = TcpConnection(sim, server, client_if,
+                         send_buffer_pkts=64,
+                         on_deliver=client.deliver_callback("p1"))
+    streamer = DmpStreamer(sim, [conn])
+    source = StoredVideoSource(sim, streamer.queue, mu=10,
+                               duration_s=60.0)
+    streamer.attach_source(source)
+    sim.run(until=30.0)
+    # 600 packets of a 60 s video downloaded in well under 30 s: the
+    # live constraint (at most mu*t = 300 by now) is clearly exceeded.
+    assert client.received == 600

@@ -1,0 +1,48 @@
+"""Property tests for the static streamer's weighted routing."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.packets import VideoPacket
+from repro.core.streamers import StaticStreamer
+from repro.sim.engine import Simulator
+from repro.sim.link import duplex_link
+from repro.sim.node import Node
+from repro.tcp.socket import TcpConnection
+
+
+def build_static(weights):
+    sim = Simulator(seed=0)
+    server = Node(sim, "server")
+    connections = []
+    for k in range(len(weights)):
+        client_if = Node(sim, f"c{k}")
+        duplex_link(sim, server, client_if, 1e9, 0.001,
+                    queue_limit_pkts=10000)
+        connections.append(TcpConnection(
+            sim, server, client_if, send_buffer_pkts=100000))
+    return StaticStreamer(sim, connections, weights=weights)
+
+
+@settings(max_examples=30, deadline=None)
+@given(weights=st.lists(st.integers(min_value=1, max_value=9),
+                        min_size=2, max_size=4),
+       total=st.integers(min_value=1, max_value=400))
+def test_deficit_round_robin_tracks_weights(weights, total):
+    """After N assignments, each path holds its weighted share +-1."""
+    streamer = build_static(weights)
+    for i in range(total):
+        streamer._on_generate(VideoPacket(i, float(i)))
+    weight_sum = sum(weights)
+    for assigned, weight in zip(streamer.assigned_per_path, weights):
+        expected = total * weight / weight_sum
+        assert abs(assigned - expected) <= 1.0 + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(weights=st.lists(st.integers(min_value=1, max_value=5),
+                        min_size=2, max_size=3))
+def test_assignment_conserves_packets(weights):
+    streamer = build_static(weights)
+    for i in range(100):
+        streamer._on_generate(VideoPacket(i, float(i)))
+    assert sum(streamer.assigned_per_path) == 100

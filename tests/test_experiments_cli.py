@@ -1,0 +1,47 @@
+"""Tests for the figure builders and the CLI runner."""
+
+import os
+
+import pytest
+
+from repro.experiments import cli
+from repro.experiments.figures import BUILDERS, build_sec73
+
+
+def test_builders_cover_every_table_and_figure():
+    expected = {"table1", "table2", "table3", "fig4", "fig5", "fig7",
+                "fig8", "fig9", "fig10", "fig11", "sec73"}
+    assert set(BUILDERS) == expected
+
+
+def test_sec73_builder_output():
+    text = build_sec73(mu=10.0)
+    assert "Sec 7.3 fluid comparison, tau=5s" in text
+    assert "Sec 7.3 fluid comparison, tau=4s" in text
+    assert "DMP <= single-path for all x: True" in text
+
+
+def test_cli_list(capsys):
+    assert cli.main(["list"]) == 0
+    out = capsys.readouterr().out.split()
+    assert "fig8" in out
+    assert "table2" in out
+
+
+def test_cli_runs_builder_and_saves(tmp_path, capsys):
+    assert cli.main(["sec73", "-o", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "Sec 7.3" in out
+    assert os.path.exists(tmp_path / "sec73.txt")
+
+
+def test_cli_rejects_unknown_target():
+    with pytest.raises(SystemExit):
+        cli.main(["fig99"])
+
+
+def test_cli_scale_flag(tmp_path, capsys):
+    # 'quick' is valid; an invalid profile is rejected by argparse.
+    assert cli.main(["sec73", "--scale", "quick"]) == 0
+    with pytest.raises(SystemExit):
+        cli.main(["sec73", "--scale", "enormous"])

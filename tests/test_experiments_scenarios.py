@@ -1,0 +1,108 @@
+"""Tests for the config-driven scenario builder."""
+
+import json
+
+import pytest
+
+from repro.experiments.scenarios import (
+    ScenarioError,
+    build_session,
+    load_scenario,
+    run_scenario,
+    validate_scenario,
+)
+
+GOOD = {
+    "mu": 40,
+    "duration_s": 20,
+    "seed": 3,
+    "taus": [2, 4],
+    "paths": [
+        {"bandwidth_mbps": 2.0, "delay_ms": 5, "buffer_pkts": 40},
+        {"bandwidth_mbps": 2.0, "delay_ms": 5, "buffer_pkts": 40,
+         "ftp_flows": 1, "http_flows": 2},
+    ],
+}
+
+
+def test_validate_good():
+    validate_scenario(GOOD)  # no raise
+
+
+def test_missing_required_key():
+    bad = dict(GOOD)
+    del bad["mu"]
+    with pytest.raises(ScenarioError, match="mu"):
+        validate_scenario(bad)
+
+
+def test_unknown_key_rejected():
+    bad = dict(GOOD, colour="blue")
+    with pytest.raises(ScenarioError, match="unknown"):
+        validate_scenario(bad)
+
+
+def test_bad_paths():
+    with pytest.raises(ScenarioError):
+        validate_scenario(dict(GOOD, paths=[]))
+    with pytest.raises(ScenarioError):
+        validate_scenario(dict(GOOD, paths=[{"delay_ms": 5}]))
+    with pytest.raises(ScenarioError):
+        validate_scenario(dict(
+            GOOD, paths=[{"bandwidth_mbps": -1}]))
+    with pytest.raises(ScenarioError):
+        validate_scenario(dict(
+            GOOD, paths=[{"bandwidth_mbps": 1, "wings": 2}]))
+
+
+def test_bad_values():
+    with pytest.raises(ScenarioError):
+        validate_scenario(dict(GOOD, mu=0))
+    with pytest.raises(ScenarioError):
+        validate_scenario(dict(GOOD, duration_s=0))
+    with pytest.raises(ScenarioError):
+        validate_scenario(dict(GOOD, taus=[-1]))
+
+
+def test_build_session_wires_everything():
+    session = build_session(GOOD)
+    assert session.mu == 40
+    assert len(session.connections) == 2
+    assert session.scheme == "dmp"
+
+
+def test_run_scenario_summary():
+    summary = run_scenario(GOOD)
+    assert summary["total_packets"] == 800
+    assert summary["arrived_packets"] == 800
+    assert set(summary["late_fraction"]) == {"2", "4"}
+    assert len(summary["flows"]) == 2
+    assert sum(summary["path_shares"]) == pytest.approx(1.0)
+    # JSON-serialisable end to end.
+    json.dumps(summary)
+
+
+def test_run_scenario_static_scheme():
+    scenario = dict(GOOD, scheme="static")
+    summary = run_scenario(scenario)
+    assert summary["scheme"] == "static"
+
+
+def test_load_scenario_roundtrip(tmp_path):
+    path = tmp_path / "scenario.json"
+    path.write_text(json.dumps(GOOD))
+    loaded = load_scenario(str(path))
+    assert loaded["mu"] == 40
+
+
+def test_load_scenario_validates(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"mu": 40}))
+    with pytest.raises(ScenarioError):
+        load_scenario(str(path))
+
+
+def test_scenario_reproducibility():
+    one = run_scenario(GOOD)
+    two = run_scenario(GOOD)
+    assert one == two

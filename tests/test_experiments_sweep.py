@@ -1,0 +1,142 @@
+"""Tests for the Section-7 parameter-space sweeps."""
+
+import pytest
+
+from repro.experiments.sweep import (
+    chain_throughput,
+    fig8_curves,
+    fig9a_rows,
+    fig9b_rows,
+    fig10_rows,
+    fig11_rows,
+    invert_chain_loss,
+    mu_for_ratio,
+    rtt_for_ratio,
+    sigma_r,
+)
+from repro.model.dmp_model import DmpModel
+from repro.model.tcp_chain import FlowParams
+
+
+def test_sigma_r_is_rtt_free():
+    value = sigma_r(0.02, 4.0)
+    sigma = chain_throughput(FlowParams(p=0.02, rtt=0.25,
+                                        to_ratio=4.0))
+    assert sigma * 0.25 == pytest.approx(value, rel=1e-9)
+
+
+def test_rtt_for_ratio_hits_target():
+    p, to, mu, ratio = 0.02, 4.0, 25.0, 1.6
+    rtt = rtt_for_ratio(p, to, mu, ratio)
+    model = DmpModel(
+        [FlowParams(p=p, rtt=rtt, to_ratio=to)] * 2, mu=mu, tau=1.0)
+    assert model.throughput_ratio == pytest.approx(ratio, rel=1e-6)
+
+
+def test_mu_for_ratio_hits_target():
+    params = FlowParams(p=0.02, rtt=0.2, to_ratio=4.0)
+    mu = mu_for_ratio(params, 1.6)
+    model = DmpModel([params, params], mu=mu, tau=1.0)
+    assert model.throughput_ratio == pytest.approx(1.6, rel=1e-6)
+
+
+def test_invert_chain_loss_roundtrip():
+    rtt, to = 0.15, 4.0
+    for p in (0.01, 0.03):
+        sigma = chain_throughput(FlowParams(p=p, rtt=rtt, to_ratio=to))
+        assert invert_chain_loss(sigma, rtt, to) == pytest.approx(
+            p, rel=0.01)
+
+
+def test_invert_chain_loss_unreachable():
+    with pytest.raises(ValueError):
+        invert_chain_loss(1e9, 0.1, 4.0)
+
+
+def test_fig8_diminishing_gain():
+    curves = fig8_curves(ratios=(1.2, 1.6), taus=(4.0, 10.0),
+                         horizon_s=6000, seed=1)
+    assert set(curves) == {1.2, 1.6}
+    # Higher ratio is uniformly better.
+    for (tau_low, f_low), (tau_high, f_high) in zip(curves[1.2],
+                                                    curves[1.6]):
+        assert tau_low == tau_high
+        assert f_high <= f_low + 1e-9
+    # And f decreases with tau within a curve.
+    for ratio, points in curves.items():
+        assert points[-1][1] <= points[0][1] + 1e-9
+
+
+def test_fig9a_structure():
+    rows = fig9a_rows(losses=(0.02,), mus=(25.0,), horizon_s=6000,
+                      threshold=1e-3, seed=1)
+    assert len(rows) == 1
+    row = rows[0]
+    assert row.required_tau is not None
+    assert 1.0 <= row.required_tau <= 40.0
+    assert row.rtt <= 0.6
+
+
+def test_fig9a_rtt_filter():
+    # p=0.004, mu=25 at ratio 1.6 implies RTT > 600 ms: excluded,
+    # exactly as in the paper.
+    rows = fig9a_rows(losses=(0.004,), mus=(25.0,), horizon_s=2000,
+                      seed=1)
+    assert rows == []
+    assert rtt_for_ratio(0.004, 4.0, 25.0, 1.6) > 0.6
+
+
+def test_fig9b_structure():
+    rows = fig9b_rows(losses=(0.02,), rtts=(0.2,), horizon_s=6000,
+                      threshold=1e-3, seed=1)
+    assert len(rows) == 1
+    assert rows[0].mu > 0
+    assert rows[0].required_tau is not None
+
+
+def test_fig10_heterogeneity_close_to_homogeneous():
+    rows = fig10_rows(gammas=(2.0,), ratios=(1.6,), horizon_s=6000,
+                      threshold=1e-3, seed=1)
+    assert len(rows) == 4  # 2 Case-1 + 2 Case-2 scenarios
+    for row in rows:
+        assert row.required_homo is not None
+        assert row.required_hetero is not None
+        # The paper's finding: performance is not sensitive to path
+        # heterogeneity — the two delays are close.
+        assert abs(row.required_hetero - row.required_homo) <= \
+            max(4.0, 0.75 * row.required_homo)
+
+
+def test_fig10_case1_preserves_aggregate():
+    rows = fig10_rows(gammas=(2.0,), ratios=(1.6,), horizon_s=2000,
+                      threshold=1e-1, seed=1)
+    case1 = [r for r in rows if r.case == 1][0]
+    homo_sigma = 2 * chain_throughput(case1.homo_params)
+    hetero_sigma = sum(chain_throughput(p)
+                       for p in case1.hetero_params)
+    assert hetero_sigma == pytest.approx(homo_sigma, rel=1e-3)
+
+
+def test_fig10_case2_preserves_aggregate():
+    rows = fig10_rows(gammas=(1.5,), ratios=(1.6,), horizon_s=2000,
+                      threshold=1e-1, seed=1)
+    case2 = [r for r in rows if r.case == 2][0]
+    homo_sigma = 2 * chain_throughput(case2.homo_params)
+    hetero_sigma = sum(chain_throughput(p)
+                       for p in case2.hetero_params)
+    assert hetero_sigma == pytest.approx(homo_sigma, rel=1e-2)
+    p1, p2 = (case2.hetero_params[0].p, case2.hetero_params[1].p)
+    assert p1 == pytest.approx(1.5 * 0.02)
+    assert p2 < 0.02  # second path compensates with lower loss
+
+
+def test_fig11_dmp_beats_static():
+    rows = fig11_rows(losses=(0.02,), groups=((0.2, 1.6),),
+                      horizon_s=8000, threshold=1e-3, seed=1)
+    assert len(rows) == 1
+    row = rows[0]
+    assert row.required_dmp is not None
+    # Static either needs a (much) longer delay or fails outright on
+    # the grid.
+    if row.required_static is not None:
+        assert row.required_static >= row.required_dmp

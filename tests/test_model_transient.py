@@ -1,0 +1,63 @@
+"""Tests for the finite-video (transient) model solver."""
+
+import pytest
+
+from repro.model.dmp_model import DmpModel
+from repro.model.tcp_chain import FlowParams
+
+TYPICAL = FlowParams(p=0.02, rtt=0.15, to_ratio=2.0)
+SMALL = FlowParams(p=0.05, rtt=0.2, to_ratio=2.0, wmax=4)
+
+
+def test_transient_validation_errors():
+    model = DmpModel([TYPICAL], mu=20, tau=2.0)
+    with pytest.raises(ValueError):
+        model.late_fraction_transient(video_s=0)
+    with pytest.raises(ValueError):
+        model.late_fraction_transient(video_s=10, replications=0)
+
+
+def test_transient_in_unit_interval_and_reproducible():
+    model = DmpModel([TYPICAL, TYPICAL], mu=40, tau=3.0)
+    a = model.late_fraction_transient(video_s=100, replications=5,
+                                      seed=3)
+    b = model.late_fraction_transient(video_s=100, replications=5,
+                                      seed=3)
+    assert 0.0 <= a.late_fraction <= 1.0
+    assert a.late_fraction == b.late_fraction
+    assert a.method == "transient-mc"
+
+
+def test_transient_decreases_with_tau():
+    model = DmpModel([TYPICAL, TYPICAL], mu=35, tau=1.0)
+    f_short = model.with_tau(1.0).late_fraction_transient(
+        video_s=200, replications=8, seed=1).late_fraction
+    f_long = model.with_tau(8.0).late_fraction_transient(
+        video_s=200, replications=8, seed=1).late_fraction
+    assert f_long <= f_short + 1e-9
+
+
+def test_transient_high_when_underprovisioned():
+    # sigma_a < mu: most packets of a long video are late.
+    model = DmpModel([TYPICAL], mu=100, tau=2.0)
+    est = model.late_fraction_transient(video_s=300, replications=3,
+                                        seed=2)
+    assert est.late_fraction > 0.3
+
+
+def test_transient_below_stationary_in_marginal_regime():
+    """Finite videos see fewer rare deep excursions than t->infinity,
+    so the transient estimate is (weakly) below the stationary one."""
+    model = DmpModel([SMALL, SMALL], mu=16, tau=2.0)
+    transient = model.late_fraction_transient(
+        video_s=300, replications=10, seed=4).late_fraction
+    stationary = model.late_fraction_mc(horizon_s=30000,
+                                        seed=4).late_fraction
+    assert transient <= stationary * 2.0 + 1e-3
+
+
+def test_transient_zero_when_overprovisioned():
+    model = DmpModel([SMALL, SMALL], mu=4, tau=4.0)
+    est = model.late_fraction_transient(video_s=200, replications=5,
+                                        seed=5)
+    assert est.late_fraction < 1e-3

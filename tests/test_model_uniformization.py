@@ -1,0 +1,116 @@
+"""Tests for the uniformization transient solver."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy.sparse import csc_matrix
+
+from repro.model.uniformization import (
+    accumulated_reward,
+    transient_distribution,
+    transient_expectation,
+    uniformized_dtmc,
+)
+
+
+def two_state(a=2.0, b=3.0):
+    return csc_matrix(np.array([[-a, a], [b, -b]]))
+
+
+def two_state_exact(a, b, t, start=0):
+    """Closed form for the 2-state chain: P(X_t = 1 | X_0 = start)."""
+    pi1 = a / (a + b)
+    decay = math.exp(-(a + b) * t)
+    if start == 0:
+        return pi1 * (1 - decay)
+    return pi1 + (1 - pi1) * decay
+
+
+def test_uniformized_dtmc_is_stochastic():
+    p, rate = uniformized_dtmc(two_state())
+    dense = p.toarray()
+    assert np.allclose(dense.sum(axis=1), 1.0)
+    assert (dense >= -1e-12).all()
+    assert rate >= 3.0
+
+
+def test_rate_below_max_rejected():
+    with pytest.raises(ValueError):
+        uniformized_dtmc(two_state(), rate=1.0)
+
+
+def test_two_state_transient_matches_closed_form():
+    a, b = 2.0, 3.0
+    q = two_state(a, b)
+    pi0 = np.array([1.0, 0.0])
+    for t in (0.0, 0.1, 0.5, 2.0, 10.0):
+        pi_t = transient_distribution(q, pi0, t)
+        assert pi_t.sum() == pytest.approx(1.0, abs=1e-9)
+        assert pi_t[1] == pytest.approx(two_state_exact(a, b, t),
+                                        abs=1e-9)
+
+
+def test_long_time_converges_to_stationary():
+    a, b = 1.0, 4.0
+    pi_t = transient_distribution(two_state(a, b),
+                                  np.array([0.0, 1.0]), 100.0)
+    assert pi_t[1] == pytest.approx(a / (a + b), abs=1e-9)
+
+
+def test_validation_errors():
+    q = two_state()
+    with pytest.raises(ValueError):
+        transient_distribution(q, np.array([1.0, 0.0]), -1.0)
+    with pytest.raises(ValueError):
+        transient_distribution(q, np.array([0.5, 0.2]), 1.0)
+    with pytest.raises(ValueError):
+        transient_distribution(q, np.array([1.0]), 1.0)
+
+
+def test_transient_expectation():
+    a, b = 2.0, 3.0
+    reward = np.array([0.0, 1.0])
+    value = transient_expectation(two_state(a, b),
+                                  np.array([1.0, 0.0]), 0.7, reward)
+    assert value == pytest.approx(two_state_exact(a, b, 0.7),
+                                  abs=1e-9)
+
+
+def test_accumulated_reward_two_state():
+    a, b = 2.0, 3.0
+    t = 1.5
+    reward = np.array([0.0, 1.0])
+    # Closed form: integral of pi1(s) ds from 0 with X_0 = 0.
+    pi1 = a / (a + b)
+    exact = pi1 * t - pi1 / (a + b) * (1 - math.exp(-(a + b) * t))
+    value = accumulated_reward(two_state(a, b),
+                               np.array([1.0, 0.0]), t, reward)
+    assert value == pytest.approx(exact, rel=1e-6)
+
+
+def test_accumulated_reward_validation():
+    with pytest.raises(ValueError):
+        accumulated_reward(two_state(), np.array([1.0, 0.0]), 1.0,
+                           np.array([0.0, 1.0]), steps=3)
+
+
+def test_tcp_chain_transient_window():
+    """Exact transient mean window of the TCP chain: starts at the
+    initial window, relaxes towards the stationary mean."""
+    from repro.model.tcp_chain import FlowParams, TcpFlowChain
+    chain = TcpFlowChain(FlowParams(p=0.05, rtt=0.1, to_ratio=2.0,
+                                    wmax=8))
+    q = chain.generator()
+    n = len(chain)
+    pi0 = np.zeros(n)
+    pi0[chain.index[("CA", 2, 0)]] = 1.0
+    reward = np.array([
+        state[1] if state[0] in ("CA", "SS") else 1
+        for state in chain.states], dtype=float)
+
+    w_early = transient_expectation(q, pi0, 0.05, reward)
+    w_late = transient_expectation(q, pi0, 60.0, reward)
+    stationary = chain.mean_window()
+    assert w_early == pytest.approx(2.0, abs=0.5)
+    assert w_late == pytest.approx(stationary, rel=0.01)

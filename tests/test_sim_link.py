@@ -1,0 +1,123 @@
+"""Unit tests for links: serialisation, propagation, overflow, order."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.link import Link, duplex_link
+from repro.sim.node import Node
+from repro.sim.packet import Packet
+from repro.sim.trace import PacketTrace
+
+
+class Sink:
+    def __init__(self):
+        self.received = []
+
+    def handle_packet(self, packet):
+        self.received.append(packet)
+
+
+def build(sim, bandwidth=8000.0, delay=0.1, limit=10, trace=None):
+    a = Node(sim, "a")
+    b = Node(sim, "b")
+    link = Link(sim, a, b, bandwidth, delay, limit, trace=trace)
+    a.add_route("b", link)
+    sink = Sink()
+    b.bind(sink, port=5)
+    return a, b, link, sink
+
+
+def packet(size=1000, seq=0):
+    return Packet(src="a", dst="b", sport=1, dport=5, size=size,
+                  seq=seq)
+
+
+def test_delivery_time_is_serialisation_plus_propagation():
+    sim = Simulator()
+    a, b, link, sink = build(sim, bandwidth=8000.0, delay=0.1)
+    # 1000 bytes at 8 kbps -> 1 s serialisation + 0.1 s propagation.
+    a.send(packet(size=1000))
+    sim.run()
+    assert sim.now == pytest.approx(1.1)
+    assert len(sink.received) == 1
+
+
+def test_back_to_back_packets_serialise_sequentially():
+    sim = Simulator()
+    a, b, link, sink = build(sim, bandwidth=8000.0, delay=0.0)
+    a.send(packet(seq=0))
+    a.send(packet(seq=1))
+    sim.run()
+    # Second packet finishes serialising at 2 s.
+    assert sim.now == pytest.approx(2.0)
+    assert [p.seq for p in sink.received] == [0, 1]
+
+
+def test_fifo_order_preserved():
+    sim = Simulator()
+    a, b, link, sink = build(sim)
+    for i in range(8):
+        a.send(packet(seq=i))
+    sim.run()
+    assert [p.seq for p in sink.received] == list(range(8))
+
+
+def test_overflow_drops_excess():
+    sim = Simulator()
+    # Queue limit 2; one packet in flight + 2 queued = 3 accepted.
+    a, b, link, sink = build(sim, limit=2)
+    for i in range(10):
+        a.send(packet(seq=i))
+    sim.run()
+    assert len(sink.received) == 3
+    assert link.drops == 7
+
+
+def test_no_loss_within_capacity():
+    sim = Simulator()
+    a, b, link, sink = build(sim, limit=100)
+    for i in range(50):
+        a.send(packet(seq=i))
+    sim.run()
+    assert len(sink.received) == 50
+    assert link.drops == 0
+    assert link.tx_packets == 50
+    assert link.tx_bytes == 50 * 1000
+
+
+def test_trace_records_events():
+    sim = Simulator()
+    trace = PacketTrace()
+    a, b, link, sink = build(sim, limit=1, trace=trace)
+    a.send(packet(seq=0))
+    a.send(packet(seq=1))
+    a.send(packet(seq=2))  # dropped: one in service + one queued
+    sim.run()
+    events = [rec.event for rec in trace]
+    assert events.count("drop") == 1
+    assert events.count("send") == 2
+    assert events.count("recv") == 2
+
+
+def test_invalid_parameters_rejected():
+    sim = Simulator()
+    a = Node(sim, "a")
+    b = Node(sim, "b")
+    with pytest.raises(ValueError):
+        Link(sim, a, b, bandwidth_bps=0, delay_s=0.1)
+    with pytest.raises(ValueError):
+        Link(sim, a, b, bandwidth_bps=1e6, delay_s=-1)
+
+
+def test_duplex_link_installs_routes():
+    sim = Simulator()
+    a = Node(sim, "a")
+    b = Node(sim, "b")
+    fwd, rev = duplex_link(sim, a, b, 1e6, 0.01)
+    assert a.route_for("b") is fwd
+    assert b.route_for("a") is rev
+    sink_b = Sink()
+    b.bind(sink_b, port=5)
+    a.send(Packet(src="a", dst="b", sport=1, dport=5, size=100))
+    sim.run()
+    assert len(sink_b.received) == 1

@@ -1,0 +1,118 @@
+"""Unit tests for node routing and agent demultiplexing."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.link import Link, duplex_link
+from repro.sim.node import Node
+from repro.sim.packet import Packet
+
+
+class Recorder:
+    def __init__(self):
+        self.packets = []
+
+    def handle_packet(self, packet):
+        self.packets.append(packet)
+
+
+def test_local_delivery_to_bound_port():
+    sim = Simulator()
+    node = Node(sim, "n")
+    agent = Recorder()
+    port = node.bind(agent)
+    node.receive(Packet(src="x", dst="n", sport=1, dport=port,
+                        size=40))
+    assert len(agent.packets) == 1
+    assert node.delivered == 1
+
+
+def test_unbound_port_is_dead_letter():
+    sim = Simulator()
+    node = Node(sim, "n")
+    node.receive(Packet(src="x", dst="n", sport=1, dport=99, size=40))
+    assert node.dead_letters == 1
+
+
+def test_forwarding_via_route():
+    sim = Simulator()
+    r = Node(sim, "r")
+    dst = Node(sim, "dst")
+    link = Link(sim, r, dst, 1e9, 0.0)
+    r.add_route("dst", link)
+    agent = Recorder()
+    dst.bind(agent, port=7)
+    r.receive(Packet(src="x", dst="dst", sport=1, dport=7, size=40))
+    sim.run()
+    assert len(agent.packets) == 1
+    assert r.forwarded == 1
+
+
+def test_missing_route_is_dead_letter():
+    sim = Simulator()
+    r = Node(sim, "r")
+    r.receive(Packet(src="x", dst="elsewhere", sport=1, dport=1,
+                     size=40))
+    assert r.dead_letters == 1
+
+
+def test_send_loopback():
+    sim = Simulator()
+    node = Node(sim, "n")
+    agent = Recorder()
+    port = node.bind(agent)
+    node.send(Packet(src="n", dst="n", sport=1, dport=port, size=40))
+    assert len(agent.packets) == 1
+
+
+def test_route_must_originate_here():
+    sim = Simulator()
+    a = Node(sim, "a")
+    b = Node(sim, "b")
+    c = Node(sim, "c")
+    link_bc = Link(sim, b, c, 1e6, 0.0)
+    with pytest.raises(ValueError):
+        a.add_route("c", link_bc)
+
+
+def test_bind_duplicate_port_rejected():
+    sim = Simulator()
+    node = Node(sim, "n")
+    node.bind(Recorder(), port=3)
+    with pytest.raises(ValueError):
+        node.bind(Recorder(), port=3)
+
+
+def test_auto_port_allocation_unique():
+    sim = Simulator()
+    node = Node(sim, "n")
+    ports = {node.bind(Recorder()) for _ in range(10)}
+    assert len(ports) == 10
+
+
+def test_unbind_frees_port():
+    sim = Simulator()
+    node = Node(sim, "n")
+    node.bind(Recorder(), port=4)
+    node.unbind(4)
+    node.bind(Recorder(), port=4)  # no error
+
+
+def test_multi_hop_forwarding():
+    sim = Simulator()
+    a = Node(sim, "a")
+    r1 = Node(sim, "r1")
+    r2 = Node(sim, "r2")
+    b = Node(sim, "b")
+    duplex_link(sim, a, r1, 1e9, 0.001)
+    duplex_link(sim, r1, r2, 1e9, 0.001)
+    duplex_link(sim, r2, b, 1e9, 0.001)
+    a.add_route("b", a.route_for("r1"))
+    r1.add_route("b", r1.route_for("r2"))
+    r2.add_route("b", r2.route_for("b"))
+    agent = Recorder()
+    b.bind(agent, port=9)
+    a.send(Packet(src="a", dst="b", sport=1, dport=9, size=100))
+    sim.run()
+    assert len(agent.packets) == 1
+    assert agent.packets[0].hops == 3

@@ -1,0 +1,39 @@
+"""Unit tests for the packet representation."""
+
+from repro.sim.packet import Packet
+
+
+def test_uids_unique_and_increasing():
+    a = Packet("a", "b", 1, 2, 100)
+    b = Packet("a", "b", 1, 2, 100)
+    assert b.uid > a.uid
+
+
+def test_flow_key():
+    pkt = Packet("srv", "cli", 10, 20, 1500, seq=5)
+    assert pkt.flow_key() == ("srv", 10, "cli", 20)
+
+
+def test_ack_flag():
+    data = Packet("a", "b", 1, 2, 1500)
+    ack = Packet("b", "a", 2, 1, 40, ack=3, flags={"ACK"})
+    assert not data.is_ack
+    assert ack.is_ack
+    assert ack.ack == 3
+
+
+def test_default_fields():
+    pkt = Packet("a", "b", 1, 2, 99)
+    assert pkt.seq == 0
+    assert pkt.ack == -1
+    assert pkt.flags == set()
+    assert pkt.payload is None
+    assert pkt.hops == 0
+    assert not pkt.is_retransmit
+
+
+def test_flags_not_shared_between_instances():
+    a = Packet("a", "b", 1, 2, 99)
+    b = Packet("a", "b", 1, 2, 99)
+    a.flags.add("ACK")
+    assert not b.is_ack

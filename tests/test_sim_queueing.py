@@ -1,0 +1,92 @@
+"""Unit tests for drop-tail and RED queues."""
+
+import random
+
+import pytest
+
+from repro.sim.packet import Packet
+from repro.sim.queueing import DropTailQueue, REDQueue
+
+
+def make_packet(seq=0):
+    return Packet(src="a", dst="b", sport=1, dport=2, size=1500,
+                  seq=seq)
+
+
+def test_fifo_order():
+    queue = DropTailQueue(capacity=10)
+    packets = [make_packet(i) for i in range(5)]
+    for packet in packets:
+        assert queue.offer(packet)
+    popped = [queue.pop() for _ in range(5)]
+    assert [p.seq for p in popped] == [0, 1, 2, 3, 4]
+
+
+def test_drop_when_full():
+    queue = DropTailQueue(capacity=2)
+    assert queue.offer(make_packet(0))
+    assert queue.offer(make_packet(1))
+    assert not queue.offer(make_packet(2))
+    assert queue.drops == 1
+    assert len(queue) == 2
+
+
+def test_pop_empty_returns_none():
+    queue = DropTailQueue(capacity=1)
+    assert queue.pop() is None
+
+
+def test_drop_fraction():
+    queue = DropTailQueue(capacity=1)
+    queue.offer(make_packet(0))
+    queue.offer(make_packet(1))
+    queue.offer(make_packet(2))
+    assert queue.drop_fraction == pytest.approx(2 / 3)
+
+
+def test_drop_fraction_empty_queue():
+    assert DropTailQueue(capacity=1).drop_fraction == 0.0
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        DropTailQueue(capacity=0)
+
+
+def test_space_frees_after_pop():
+    queue = DropTailQueue(capacity=1)
+    queue.offer(make_packet(0))
+    assert not queue.offer(make_packet(1))
+    queue.pop()
+    assert queue.offer(make_packet(2))
+
+
+def test_red_accepts_below_min_threshold():
+    queue = REDQueue(capacity=100, min_th=20, max_th=50,
+                     rng=random.Random(1))
+    for i in range(10):
+        assert queue.offer(make_packet(i))
+    assert queue.drops == 0
+
+
+def test_red_drops_probabilistically_between_thresholds():
+    queue = REDQueue(capacity=100, min_th=5, max_th=20, max_p=1.0,
+                     weight=1.0, rng=random.Random(1))
+    for i in range(60):
+        queue.offer(make_packet(i))
+    assert queue.drops > 0
+    assert len(queue) < 60
+
+
+def test_red_requires_ordered_thresholds():
+    with pytest.raises(ValueError):
+        REDQueue(capacity=10, min_th=5, max_th=5)
+
+
+def test_red_hard_drop_at_capacity():
+    queue = REDQueue(capacity=3, min_th=1, max_th=2.5, max_p=0.0,
+                     weight=0.0, rng=random.Random(1))
+    for i in range(5):
+        queue.offer(make_packet(i))
+    assert len(queue) <= 3
+    assert queue.drops >= 2

@@ -1,0 +1,66 @@
+"""Unit tests for packet tracing."""
+
+from repro.sim.packet import Packet
+from repro.sim.trace import PacketTrace
+
+
+def make_packet(seq=0, ack=-1, flags=None, src="a", dst="b"):
+    return Packet(src=src, dst=dst, sport=1, dport=2, size=1500,
+                  seq=seq, ack=ack, flags=flags)
+
+
+def test_record_and_iterate():
+    trace = PacketTrace()
+    trace.record(1.0, "send", "l1", make_packet(seq=3))
+    trace.record(2.0, "recv", "l1", make_packet(seq=3))
+    assert len(trace) == 2
+    times = [rec.time for rec in trace]
+    assert times == [1.0, 2.0]
+
+
+def test_event_filter():
+    trace = PacketTrace(events={"drop"})
+    trace.record(1.0, "send", "l1", make_packet())
+    trace.record(2.0, "drop", "l1", make_packet())
+    assert len(trace) == 1
+    assert trace.records[0].event == "drop"
+
+
+def test_predicate_filter():
+    trace = PacketTrace(predicate=lambda rec: rec.src == "a")
+    trace.record(1.0, "send", "l1", make_packet(src="a"))
+    trace.record(2.0, "send", "l1", make_packet(src="z"))
+    assert len(trace) == 1
+
+
+def test_field_filter():
+    trace = PacketTrace()
+    trace.record(1.0, "send", "l1", make_packet(seq=1))
+    trace.record(2.0, "send", "l2", make_packet(seq=2))
+    assert len(trace.filter(link="l2")) == 1
+    assert len(trace.filter(link="l1", seq=1)) == 1
+    assert trace.filter(link="l1", seq=2) == []
+
+
+def test_flow_keys():
+    trace = PacketTrace()
+    trace.record(1.0, "send", "l1", make_packet(src="a", dst="b"))
+    trace.record(2.0, "send", "l1", make_packet(src="c", dst="b"))
+    assert trace.flows() == {("a", 1, "b", 2), ("c", 1, "b", 2)}
+
+
+def test_records_capture_ack_flag():
+    trace = PacketTrace()
+    trace.record(1.0, "send", "l1",
+                 make_packet(ack=7, flags={"ACK"}))
+    rec = trace.records[0]
+    assert rec.is_ack
+    assert rec.ack == 7
+
+
+def test_retransmit_flag_captured():
+    trace = PacketTrace()
+    packet = make_packet(seq=5)
+    packet.is_retransmit = True
+    trace.record(1.0, "send", "l1", packet)
+    assert trace.records[0].is_retransmit

@@ -1,0 +1,89 @@
+"""Unit tests for RTT estimation and RTO computation."""
+
+import pytest
+
+from repro.tcp.estimator import RttEstimator
+
+
+def test_first_sample_initialises_srtt():
+    est = RttEstimator(min_rto=0.01)
+    est.observe(0.2)
+    assert est.srtt == pytest.approx(0.2)
+    assert est.rttvar == pytest.approx(0.1)
+    assert est.rto == pytest.approx(0.2 + 4 * 0.1)
+
+
+def test_constant_samples_converge_to_min_variance():
+    est = RttEstimator(min_rto=0.01)
+    for _ in range(200):
+        est.observe(0.1)
+    assert est.srtt == pytest.approx(0.1, rel=1e-6)
+    assert est.rttvar == pytest.approx(0.0, abs=1e-6)
+    assert est.rto == pytest.approx(0.1, rel=0.2)
+
+
+def test_min_rto_floor():
+    est = RttEstimator(min_rto=0.2)
+    for _ in range(100):
+        est.observe(0.01)
+    assert est.rto == 0.2
+
+
+def test_max_rto_cap():
+    est = RttEstimator(max_rto=1.0)
+    est.observe(5.0)
+    assert est.rto == 1.0
+
+
+def test_backoff_doubles_and_caps():
+    est = RttEstimator(min_rto=0.2, max_rto=10.0)
+    est.observe(0.1)  # rto = srtt + 4*rttvar = 0.3
+    assert est.backed_off(0) == pytest.approx(0.3)
+    assert est.backed_off(1) == pytest.approx(0.6)
+    assert est.backed_off(3) == pytest.approx(2.4)
+    assert est.backed_off(10) == 10.0
+
+
+def test_backoff_negative_exponent_rejected():
+    est = RttEstimator()
+    with pytest.raises(ValueError):
+        est.backed_off(-1)
+
+
+def test_mean_rtt_tracks_samples():
+    est = RttEstimator()
+    for value in (0.1, 0.2, 0.3):
+        est.observe(value)
+    assert est.mean_rtt == pytest.approx(0.2)
+
+
+def test_mean_rtt_zero_without_samples():
+    assert RttEstimator().mean_rtt == 0.0
+
+
+def test_initial_rto_used_before_samples():
+    est = RttEstimator(initial_rto=3.0)
+    assert est.rto == 3.0
+
+
+def test_variance_grows_with_jitter():
+    steady = RttEstimator(min_rto=0.001)
+    jittery = RttEstimator(min_rto=0.001)
+    for i in range(100):
+        steady.observe(0.1)
+        jittery.observe(0.05 if i % 2 else 0.15)
+    assert jittery.rto > steady.rto
+
+
+def test_negative_sample_rejected():
+    with pytest.raises(ValueError):
+        RttEstimator().observe(-0.1)
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        RttEstimator(alpha=0.0)
+    with pytest.raises(ValueError):
+        RttEstimator(min_rto=0.0)
+    with pytest.raises(ValueError):
+        RttEstimator(min_rto=1.0, max_rto=0.5)

@@ -1,0 +1,126 @@
+"""Unit tests for the delayed-ACK receiver."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.node import Node
+from repro.sim.packet import Packet
+from repro.tcp.receiver import TcpReceiver
+
+from tests.tcp_harness import TcpPair
+
+
+class AckCollector:
+    def __init__(self):
+        self.acks = []
+
+    def handle_packet(self, packet):
+        if packet.is_ack:
+            self.acks.append(packet.ack)
+
+
+def build_receiver(delack_interval=0.1):
+    sim = Simulator()
+    sender_node = Node(sim, "s")
+    receiver_node = Node(sim, "r")
+    collector = AckCollector()
+    sender_port = sender_node.bind(collector)
+
+    delivered = []
+    receiver = TcpReceiver(
+        sim, receiver_node, delack_interval=delack_interval,
+        on_deliver=lambda payload, seq, t: delivered.append(seq))
+
+    def send_data(seq):
+        receiver.handle_packet(Packet(
+            src="s", dst="r", sport=sender_port, dport=receiver.port,
+            size=1500, seq=seq))
+
+    # ACKs are emitted via receiver_node.send -> route to "s".
+    class DirectWire:
+        def __init__(self, src):
+            self.src = src
+
+        def enqueue(self, packet):
+            sim.schedule(0.0, sender_node.receive, packet)
+
+    receiver_node.add_route("s", DirectWire(receiver_node))
+    return sim, receiver, collector, delivered, send_data
+
+
+def test_in_order_delivery():
+    sim, receiver, collector, delivered, send = build_receiver()
+    for seq in range(4):
+        send(seq)
+    sim.run()
+    assert delivered == [0, 1, 2, 3]
+    assert receiver.rcv_nxt == 4
+
+
+def test_ack_every_second_segment():
+    sim, receiver, collector, delivered, send = build_receiver()
+    for seq in range(4):
+        send(seq)
+    sim.run()
+    # Two cumulative ACKs (after segments 1 and 3), no timer needed.
+    assert collector.acks == [2, 4]
+
+
+def test_delayed_ack_timer_fires_for_odd_segment():
+    sim, receiver, collector, delivered, send = build_receiver(
+        delack_interval=0.1)
+    send(0)
+    sim.run()
+    assert collector.acks == [1]
+    assert sim.now == pytest.approx(0.1)  # the delack timer
+
+
+def test_out_of_order_triggers_immediate_dup_ack():
+    sim, receiver, collector, delivered, send = build_receiver()
+    send(0)
+    send(1)   # cumulative ACK 2
+    send(3)   # gap -> immediate dup ACK 2
+    send(4)   # still gapped -> dup ACK 2
+    sim.run()
+    assert collector.acks[:2] == [2, 2] or collector.acks == [2, 2, 2]
+    assert delivered == [0, 1]
+    assert receiver.out_of_order == 2
+
+
+def test_gap_fill_delivers_buffered_run():
+    sim, receiver, collector, delivered, send = build_receiver()
+    send(0)
+    send(2)
+    send(3)
+    send(1)  # fills the gap; 1,2,3 delivered together
+    sim.run()
+    assert delivered == [0, 1, 2, 3]
+    assert receiver.rcv_nxt == 4
+
+
+def test_duplicate_segment_acked_but_not_redelivered():
+    sim, receiver, collector, delivered, send = build_receiver()
+    send(0)
+    send(0)
+    sim.run()
+    assert delivered == [0]
+    assert receiver.duplicates == 1
+    assert 1 in collector.acks
+
+
+def test_delivery_callback_receives_payloads():
+    pair = TcpPair()
+    pair.write_all(3)
+    pair.run()
+    assert [p for _, p, _ in pair.delivered] == \
+        ["pkt0", "pkt1", "pkt2"]
+
+
+def test_receiver_counts():
+    sim, receiver, collector, delivered, send = build_receiver()
+    for seq in (0, 1, 3, 2):
+        send(seq)
+    sim.run()
+    assert receiver.segments_received == 4
+    assert receiver.delivered == 4
+    assert receiver.acks_sent >= 2

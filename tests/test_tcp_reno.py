@@ -1,0 +1,146 @@
+"""Unit tests for the Reno sender over a controllable wire."""
+
+import pytest
+
+from tests.tcp_harness import TcpPair
+
+
+def test_lossless_in_order_delivery():
+    pair = TcpPair()
+    pair.write_all(50)
+    pair.run()
+    assert [seq for seq, _, _ in pair.delivered] == list(range(50))
+    assert [payload for _, payload, _ in pair.delivered] == \
+        [f"pkt{i}" for i in range(50)]
+    assert pair.sender.retransmits == 0
+    assert pair.sender.timeouts == 0
+
+
+def test_slow_start_window_growth():
+    pair = TcpPair()
+    pair.write_all(100)
+    pair.run(until=1.0)
+    # After several lossless RTTs the window must have grown well
+    # beyond the initial value.
+    assert pair.sender.cwnd > 8
+
+
+def test_single_loss_recovers_by_fast_retransmit():
+    pair = TcpPair(drop_seqs=[20])
+    pair.write_all(60)
+    pair.run()
+    assert [seq for seq, _, _ in pair.delivered] == list(range(60))
+    assert pair.sender.fast_retransmits == 1
+    assert pair.sender.timeouts == 0
+
+
+def test_fast_retransmit_halves_window():
+    pair = TcpPair(drop_seqs=[30])
+    pair.write_all(200)
+    pair.run(until=3.0)
+    assert pair.sender.fast_retransmits >= 1
+    # After recovery cwnd equals ssthresh (half of the loss window).
+    assert pair.sender.cwnd <= 40
+
+
+def test_early_loss_recovers_by_timeout():
+    # Losing the very first segment leaves no dup-ACK source: only the
+    # retransmission timer can recover.
+    pair = TcpPair(drop_seqs=[0])
+    pair.write_all(1)
+    pair.run()
+    assert [seq for seq, _, _ in pair.delivered] == [0]
+    assert pair.sender.timeouts == 1
+
+
+def test_timeout_resets_window_to_one():
+    pair = TcpPair(drop_seqs=[0])
+    pair.write_all(1)
+    # Run until just after the timeout fires (initial RTO = 3 s).
+    pair.run(until=3.05)
+    assert pair.sender.timeouts == 1
+    assert pair.sender.cwnd <= 2.0
+
+
+def test_repeated_timeout_backoff_doubles():
+    # Drop the first three transmissions of segment 0.
+    pair = TcpPair(drop_nth=[0, 1, 2])
+    pair.write_all(1)
+    pair.run(until=60.0)
+    assert [seq for seq, _, _ in pair.delivered] == [0]
+    assert pair.sender.timeouts == 3
+    history = [t for t, _ in pair.sender.rto_history]
+    gaps = [b - a for a, b in zip(history, history[1:])]
+    assert len(gaps) == 2
+    # Exponential backoff: each timeout waits twice as long.
+    assert gaps[1] == pytest.approx(2 * gaps[0], rel=0.01)
+
+
+def test_send_buffer_blocks_at_limit():
+    pair = TcpPair(send_buffer_pkts=8)
+    written = pair.write_all(100)
+    assert written == 8
+    assert not pair.sender.can_write()
+    assert pair.sender.free_space() == 0
+
+
+def test_send_space_callback_fires_on_ack_progress():
+    pair = TcpPair(send_buffer_pkts=4)
+    pair.write_all(4)
+    assert pair.space_events == []
+    pair.run()
+    assert pair.space_events  # ACKs freed buffer space
+    assert pair.sender.can_write()
+
+
+def test_buffer_drains_completely():
+    pair = TcpPair(send_buffer_pkts=16)
+    pair.write_all(16)
+    pair.run()
+    assert pair.sender.buffered == 0
+    assert pair.sender.outstanding == 0
+    assert len(pair.delivered) == 16
+
+
+def test_rtt_estimator_converges_to_path_rtt():
+    pair = TcpPair(delay=0.05)
+    pair.write_all(200)
+    pair.run()
+    # Path RTT is 0.1 s (plus up to one delayed-ACK interval).
+    assert 0.09 < pair.sender.estimator.mean_rtt < 0.25
+
+
+def test_karn_rule_no_samples_during_pure_retransmission():
+    pair = TcpPair(drop_nth=[0, 1])
+    pair.write_all(1)
+    pair.run()
+    # Only the third (successful, untimed-after-timeout) copy got
+    # through; Karn's rule forbids sampling retransmitted segments.
+    assert pair.sender.estimator.samples == 0
+
+
+def test_loss_estimates():
+    pair = TcpPair(drop_seqs=[10, 40])
+    pair.write_all(80)
+    pair.run()
+    sender = pair.sender
+    assert sender.retransmits >= 2
+    assert 0 < sender.loss_estimate < 0.2
+
+
+def test_closed_sender_rejects_writes():
+    pair = TcpPair()
+    pair.write_all(5)
+    pair.sender.close()
+    assert not pair.sender.can_write()
+    assert not pair.sender.write("late")
+    pair.run()
+    assert len(pair.delivered) == 5  # in-flight data still drains
+
+
+def test_no_duplicate_deliveries_under_loss():
+    pair = TcpPair(drop_seqs=[5, 6, 7, 20])
+    pair.write_all(50)
+    pair.run()
+    seqs = [seq for seq, _, _ in pair.delivered]
+    assert seqs == sorted(set(seqs)) == list(range(50))

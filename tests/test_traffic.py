@@ -1,0 +1,105 @@
+"""Unit tests for the FTP and HTTP background workloads."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.link import duplex_link
+from repro.sim.node import Node
+from repro.traffic.ftp import FtpFlow
+from repro.traffic.http import HttpFlow
+
+
+def pair(seed=0, bandwidth=1e6, delay=0.01, limit=50):
+    sim = Simulator(seed=seed)
+    a = Node(sim, "a")
+    b = Node(sim, "b")
+    duplex_link(sim, a, b, bandwidth, delay, queue_limit_pkts=limit)
+    return sim, a, b
+
+
+def test_ftp_keeps_buffer_full():
+    sim, a, b = pair()
+    flow = FtpFlow(sim, a, b, send_buffer_pkts=32)
+    sim.run(until=5)
+    sender = flow.connection.sender
+    # Backlogged: the buffer is pinned at its limit.
+    assert sender.buffered == 32
+
+
+def test_ftp_saturates_link():
+    sim, a, b = pair(bandwidth=8e5)  # 100 x 1000B-segments/s
+    flow = FtpFlow(sim, a, b, segment_bytes=1000)
+    sim.run(until=30)
+    assert flow.delivered / 30 > 70
+
+
+def test_ftp_start_time_respected():
+    sim, a, b = pair()
+    flow = FtpFlow(sim, a, b, start_at=5.0)
+    sim.run(until=4.9)
+    assert flow.delivered == 0
+    sim.run(until=20)
+    assert flow.delivered > 0
+
+
+def test_http_transfers_complete_and_repeat():
+    sim, a, b = pair(seed=3)
+    flow = HttpFlow(sim, a, b, mean_object_pkts=5.0,
+                    mean_think_s=0.5)
+    sim.run(until=60)
+    assert flow.transfers_completed >= 5
+    assert flow.delivered > 0
+
+
+def test_http_duty_cycle_below_ftp():
+    sim, a, b = pair(seed=4, bandwidth=8e5)
+    ftp = FtpFlow(sim, a, b, segment_bytes=1000)
+    sim.run(until=30)
+    ftp_rate = ftp.delivered / 30
+
+    sim2, a2, b2 = pair(seed=4, bandwidth=8e5)
+    http = HttpFlow(sim2, a2, b2, segment_bytes=1000,
+                    mean_object_pkts=8.0, mean_think_s=5.0)
+    sim2.run(until=30)
+    http_rate = http.delivered / 30
+    assert http_rate < ftp_rate / 2
+
+
+def test_http_object_sizes_heavy_tailed():
+    sim, a, b = pair(seed=7)
+    flow = HttpFlow(sim, a, b, mean_object_pkts=10.0,
+                    pareto_shape=1.2, mean_think_s=0.01)
+    sizes = [flow._draw_object_pkts() for _ in range(2000)]
+    assert min(sizes) >= 1
+    mean = sum(sizes) / len(sizes)
+    assert 5.0 < mean < 25.0  # heavy tail inflates the sample mean
+    assert max(sizes) > 50    # tail events exist
+
+
+def test_http_restarts_from_slow_start():
+    sim, a, b = pair(seed=8)
+    flow = HttpFlow(sim, a, b, mean_object_pkts=3.0,
+                    mean_think_s=0.2)
+    sim.run(until=30)
+    sender = flow.connection.sender
+    assert flow.transfers_completed >= 3
+    # cwnd was reset between transfers, so it cannot have grown
+    # monotonically for 30 seconds of continuous transfer.
+    assert sender.cwnd < 100
+
+
+def test_http_invalid_shape_rejected():
+    sim, a, b = pair()
+    with pytest.raises(ValueError):
+        HttpFlow(sim, a, b, pareto_shape=1.0)
+
+
+def test_http_no_double_restart():
+    sim, a, b = pair(seed=9)
+    flow = HttpFlow(sim, a, b, mean_object_pkts=2.0,
+                    mean_think_s=1.0)
+    sim.run(until=120)
+    # Deliveries match completed transfers plus at most one in flight;
+    # a double-restart bug would inflate deliveries unboundedly.
+    assert flow.transfers_completed <= 120
+    assert flow.delivered < 120 * 6 * 3
