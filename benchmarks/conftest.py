@@ -6,9 +6,33 @@ quick) and drops the rendered artefact under ``benchmarks/out/`` so
 EXPERIMENTS.md can quote real runs.
 """
 
+import os
+
 import pytest
 
+from repro.experiments import cache as result_cache
+from repro.experiments import parallel
 from repro.experiments.report import save_output
+
+
+@pytest.fixture(autouse=True, scope="session")
+def parallel_and_cache():
+    """Wire the executor and result cache into every benchmark.
+
+    * ``REPRO_WORKERS=N`` fans replications/model solves out over N
+      processes (default: serial);
+    * the on-disk result cache is ON for benchmarks (a re-run at the
+      same scale performs zero new simulations) unless ``REPRO_CACHE=0``;
+    * ``REPRO_CACHE_DIR`` relocates the cache (default ~/.cache/repro).
+    """
+    workers = os.environ.get("REPRO_WORKERS")
+    parallel.configure(max_workers=int(workers) if workers else None)
+    enabled = os.environ.get("REPRO_CACHE", "1").lower() \
+        not in ("0", "", "false", "no")
+    result_cache.configure(enabled=enabled)
+    yield
+    parallel.configure(max_workers=None)
+    result_cache.configure(enabled=None)
 
 
 @pytest.fixture

@@ -11,9 +11,14 @@
   standing in for the paper's PlanetLab runs (Fig. 7).
 * :mod:`repro.experiments.sweep` — the Section-7 model-based parameter
   exploration (Figs. 8-11).
+* :mod:`repro.experiments.parallel` — process-pool fan-out of
+  replications and model solves with deterministic seeding.
+* :mod:`repro.experiments.cache` — on-disk memoisation of simulated
+  runs and model solves.
 * :mod:`repro.experiments.report` — plain-text table/figure rendering.
 """
 
+from repro.experiments.cache import CODE_VERSION, ResultCache
 from repro.experiments.configs import (
     CALIBRATED_CONFIGS,
     CORRELATED_SETTINGS,
@@ -22,6 +27,11 @@ from repro.experiments.configs import (
     PAPER_TABLE1,
     LinkConfig,
     Setting,
+)
+from repro.experiments.parallel import (
+    ModelTask,
+    ReplicationExecutor,
+    RunSpec,
 )
 from repro.experiments.runner import (
     ReplicatedRun,
@@ -50,4 +60,9 @@ __all__ = [
     "scale_profile",
     "ReplicatedRun",
     "run_setting",
+    "ReplicationExecutor",
+    "RunSpec",
+    "ModelTask",
+    "ResultCache",
+    "CODE_VERSION",
 ]

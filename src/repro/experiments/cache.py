@@ -1,0 +1,235 @@
+"""On-disk result cache for simulated replications and model solves.
+
+Every replication of :func:`repro.experiments.runner.run_setting` is a
+pure function of ``(Setting, duration, scheme, seed, send buffer)`` —
+the simulator is deterministic given its seed — so its result can be
+memoised across processes and invocations.  The cache stores one JSON
+record per simulation run (and per model Monte-Carlo solve) under a
+content-addressed filename::
+
+    <cache dir>/<sha256 of the canonical key>.json
+
+The directory defaults to ``~/.cache/repro`` and is overridable with
+the ``REPRO_CACHE_DIR`` environment variable or an explicit
+``directory`` argument.
+
+Invalidation: every key embeds :data:`CODE_VERSION`.  Bump it whenever
+a change alters simulation or model output for the same inputs
+(topology construction, RNG consumption order, TCP behaviour, metric
+definitions...).  Stale records are then never read again; they can be
+garbage-collected by deleting the cache directory.
+
+Robustness: a record that cannot be read or parsed (truncated write,
+concurrent writer, disk corruption) is treated as a miss, never an
+error.  Writes go through a temporary file and an atomic rename so a
+crashed writer cannot leave a half-record behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import asdict
+from typing import Optional
+
+from repro.model.dmp_model import LateFractionEstimate
+
+#: Bump to invalidate every cached record (see module docstring).
+CODE_VERSION = 1
+
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+ENV_CACHE = "REPRO_CACHE"
+
+
+def default_directory() -> str:
+    """Resolve the cache directory ($REPRO_CACHE_DIR > ~/.cache/repro)."""
+    env = os.environ.get(ENV_CACHE_DIR)
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro")
+
+
+def tau_key(tau: float) -> str:
+    """Canonical JSON-object key for a startup delay."""
+    return repr(float(tau))
+
+
+def _digest(payload: dict) -> str:
+    canonical = json.dumps(payload, sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Content-addressed JSON store for run and model records."""
+
+    def __init__(self, directory: Optional[str] = None):
+        self.directory = directory or default_directory()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # -- keys ----------------------------------------------------------
+    @staticmethod
+    def run_key_payload(spec) -> dict:
+        """The full identity of one simulation run (see RunSpec)."""
+        setting = spec.setting
+        return {
+            "kind": "run",
+            "version": CODE_VERSION,
+            "setting": {
+                "name": setting.name,
+                "configs": list(setting.configs),
+                "mu": setting.mu,
+                "shared_bottleneck": setting.shared_bottleneck,
+            },
+            "duration_s": spec.duration_s,
+            "scheme": spec.scheme,
+            "seed": spec.seed,
+            "send_buffer_pkts": spec.send_buffer_pkts,
+        }
+
+    def run_key(self, spec) -> str:
+        return _digest(self.run_key_payload(spec))
+
+    @staticmethod
+    def model_key_payload(task) -> dict:
+        return {
+            "kind": "model",
+            "version": CODE_VERSION,
+            "flows": [asdict(flow) for flow in task.flows],
+            "mu": task.mu,
+            "tau": task.tau,
+            "horizon_s": task.horizon_s,
+            "seed": task.seed,
+        }
+
+    def model_key(self, task) -> str:
+        return _digest(self.model_key_payload(task))
+
+    # -- run records ---------------------------------------------------
+    def get_run(self, spec) -> Optional[dict]:
+        """Cached record for one replication, or None.
+
+        A record is only a hit when it covers *every* startup delay the
+        spec asks for (records accumulate taus across invocations).
+        """
+        record = self._read(self.run_key(spec))
+        if record is None or "flow_stats" not in record \
+                or not isinstance(record.get("taus"), dict):
+            self.misses += 1
+            return None
+        if any(tau_key(tau) not in record["taus"] for tau in spec.taus):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put_run(self, spec, record: dict) -> None:
+        """Store a replication record, merging taus with any prior one."""
+        key = self.run_key(spec)
+        previous = self._read(key)
+        if previous is not None and isinstance(previous.get("taus"),
+                                               dict):
+            merged = dict(previous["taus"])
+            merged.update(record["taus"])
+            record = dict(record, taus=merged)
+        self._write(key, record)
+
+    # -- model records -------------------------------------------------
+    def get_model(self, task) -> Optional[LateFractionEstimate]:
+        record = self._read(self.model_key(task))
+        if record is None:
+            self.misses += 1
+            return None
+        try:
+            estimate = LateFractionEstimate(
+                late_fraction=float(record["late_fraction"]),
+                stderr=float(record["stderr"]),
+                horizon_s=float(record["horizon_s"]),
+                method=str(record["method"]),
+                path_shares=tuple(record.get("path_shares", ())))
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return estimate
+
+    def put_model(self, task, estimate: LateFractionEstimate) -> None:
+        self._write(self.model_key(task), {
+            "late_fraction": estimate.late_fraction,
+            "stderr": estimate.stderr,
+            "horizon_s": estimate.horizon_s,
+            "method": estimate.method,
+            "path_shares": list(estimate.path_shares),
+        })
+
+    # -- storage -------------------------------------------------------
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, key + ".json")
+
+    def _read(self, key: str) -> Optional[dict]:
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, ValueError):
+            return None  # absent, truncated or corrupt -> miss
+        return record if isinstance(record, dict) else None
+
+    def _write(self, key: str, payload: dict) -> None:
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.directory,
+                                       suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(payload, handle)
+                os.replace(tmp, self._path(key))
+            finally:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+        except OSError:
+            return  # a read-only cache dir degrades to no caching
+        self.stores += 1
+
+
+# ---------------------------------------------------------------------
+# Process-wide default (wired by the CLI and benchmarks/conftest.py)
+# ---------------------------------------------------------------------
+_default: dict = {"enabled": None, "directory": None, "instance": None}
+
+
+def configure(enabled: Optional[bool] = True,
+              directory: Optional[str] = None) -> None:
+    """Set the process-wide default cache used when callers pass None.
+
+    ``enabled=None`` restores the initial behaviour: caching is on only
+    when ``$REPRO_CACHE`` is a truthy value.
+    """
+    _default["enabled"] = enabled
+    _default["directory"] = directory
+    _default["instance"] = None
+
+
+def default_cache() -> Optional[ResultCache]:
+    """The configured default cache instance (None when disabled)."""
+    enabled = _default["enabled"]
+    if enabled is None:
+        enabled = os.environ.get(ENV_CACHE, "0").lower() \
+            not in ("0", "", "false", "no")
+    if not enabled:
+        return None
+    if _default["instance"] is None:
+        _default["instance"] = ResultCache(_default["directory"])
+    return _default["instance"]
+
+
+def resolve_cache(cache) -> Optional[ResultCache]:
+    """Normalise a ``cache`` argument: None -> default, False -> off."""
+    if cache is None:
+        return default_cache()
+    if cache is False:
+        return None
+    return cache

@@ -16,6 +16,8 @@ import argparse
 import sys
 import time
 
+from repro.experiments import cache as result_cache
+from repro.experiments import parallel
 from repro.experiments.figures import BUILDERS
 from repro.experiments.report import save_output
 from repro.experiments.runner import scale_profile
@@ -36,6 +38,17 @@ def main(argv=None) -> int:
     parser.add_argument(
         "-o", "--output-dir", default=None,
         help="also save the artefact(s) under this directory")
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="fan replications/model solves out over N processes "
+             "(default: $REPRO_WORKERS or serial)")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="re-simulate everything, bypassing the result cache")
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result-cache directory (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro)")
     args = parser.parse_args(argv)
 
     if args.target == "list":
@@ -43,19 +56,37 @@ def main(argv=None) -> int:
             print(name)
         return 0
 
+    if args.workers is not None and args.workers < 1:
+        parser.error("--workers must be >= 1")
+    prev_workers = parallel._default["max_workers"]
+    prev_cache = dict(result_cache._default)
+    parallel.configure(max_workers=args.workers)
+    result_cache.configure(enabled=not args.no_cache,
+                           directory=args.cache_dir)
+
     profile = scale_profile(args.scale)
     targets = sorted(BUILDERS) if args.target == "all" \
         else [args.target]
-    for name in targets:
-        started = time.time()
-        text = BUILDERS[name](profile=profile)
-        print(text)
-        print(f"[{name}: {time.time() - started:.1f}s at "
-              f"profile={profile.name}]\n")
-        if args.output_dir:
-            path = save_output(f"{name}.txt", text,
-                               directory=args.output_dir)
-            print(f"[saved to {path}]\n")
+    try:
+        for name in targets:
+            started = time.time()
+            text = BUILDERS[name](profile=profile)
+            print(text)
+            status = (f"[{name}: {time.time() - started:.1f}s at "
+                      f"profile={profile.name}")
+            cache = result_cache.default_cache()
+            if cache is not None:
+                status += (f", cache: {cache.hits} hits / "
+                           f"{cache.misses} misses")
+            print(status + "]\n")
+            if args.output_dir:
+                path = save_output(f"{name}.txt", text,
+                                   directory=args.output_dir)
+                print(f"[saved to {path}]\n")
+    finally:
+        parallel.configure(max_workers=prev_workers)
+        result_cache._default.update(prev_cache)
+        result_cache._default["instance"] = None
     return 0
 
 

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.session import PathConfig, StreamingSession
+from repro.experiments.parallel import ReplicationExecutor
 from repro.experiments.runner import (
     MEASURED_LOSS_MODEL,
     MIN_MEASURED_P,
@@ -74,76 +75,107 @@ def _hefei_path(rng: random.Random) -> PathConfig:
         n_ftp=rng.randint(1, 2), n_http=rng.randint(8, 15))
 
 
+@dataclass(frozen=True)
+class _ExperimentSpec:
+    """One emulated experiment, fully determined and picklable."""
+
+    index: int
+    kind: str
+    mu: float
+    paths: tuple
+    duration_s: float
+    seed: int
+    taus: tuple
+    model_horizon_s: float
+    model_seed: int
+
+
+def _run_experiment(spec: _ExperimentSpec) -> InternetExperimentResult:
+    """Execute one experiment (worker-safe top-level function)."""
+    # Wide-area paths have a large bandwidth-delay product; the
+    # default 16-packet send buffer would cap the in-flight window
+    # below fair share (and hide the true loss rate from the
+    # measurement), so size it to cover the largest path BDP.
+    session = StreamingSession(
+        mu=spec.mu, duration_s=spec.duration_s,
+        paths=list(spec.paths), scheme="dmp", seed=spec.seed,
+        segment_bytes=INTERNET_SEGMENT_BYTES,
+        send_buffer_pkts=48)
+    run = session.run()
+
+    measured = [{
+        "p": stats["loss_event_estimate"],
+        "rtt": stats["mean_rtt"],
+        "to": stats["timeout_ratio"],
+    } for stats in run.flow_stats]
+    flow_params = [
+        FlowParams(p=max(m["p"], MIN_MEASURED_P), rtt=m["rtt"],
+                   to_ratio=max(m["to"], MIN_MEASURED_TO),
+                   loss_model=MEASURED_LOSS_MODEL)
+        for m in measured]
+
+    sim_late = {}
+    sim_ao = {}
+    model_late = {}
+    for tau in spec.taus:
+        metrics = run.metrics(tau)
+        sim_late[tau] = metrics.late_fraction
+        sim_ao[tau] = metrics.arrival_order_late_fraction
+        model = DmpModel(flow_params, mu=spec.mu, tau=tau)
+        estimate = model.late_fraction_mc(
+            horizon_s=spec.model_horizon_s, seed=spec.model_seed)
+        model_late[tau] = estimate.late_fraction
+
+    return InternetExperimentResult(
+        index=spec.index, kind=spec.kind, mu=spec.mu,
+        measured=measured, sim_late=sim_late,
+        sim_arrival_order_late=sim_ao, model_late=model_late)
+
+
 def run_internet_experiments(
         n_experiments: int = 10,
         taus: Sequence[float] = DEFAULT_TAUS,
         profile: Optional[ScaleProfile] = None,
-        seed: int = 2006) -> List[InternetExperimentResult]:
+        seed: int = 2006,
+        max_workers: Optional[int] = None) \
+        -> List[InternetExperimentResult]:
     """Reproduce the Fig.-7 campaign: 10 experiments, model vs run.
 
     Experiments alternate between the homogeneous (two SF-ADSL paths,
     mu in {25, 50}) and heterogeneous (SF + Hefei, mu = 100) setups, as
     in the paper.  Durations scale with the profile (the paper used
     3,000 s per experiment; ``paper`` profile restores that).
+
+    All path parameters are drawn up front from one seeded stream, so
+    fanning the experiments out over processes (``max_workers`` > 1 or
+    the configured default) changes nothing in the results.
     """
     if profile is None:
         profile = scale_profile()
     duration = {"quick": 300.0, "full": 900.0,
                 "paper": 3000.0}.get(profile.name, profile.duration_s)
 
-    results: List[InternetExperimentResult] = []
+    specs: List[_ExperimentSpec] = []
     rng = random.Random(seed)
     for index in range(n_experiments):
         heterogeneous = index % 2 == 1
         if heterogeneous:
-            paths = [_sf_adsl_path(rng), _hefei_path(rng)]
+            paths = (_sf_adsl_path(rng), _hefei_path(rng))
             mu = 100.0
             kind = "heterogeneous"
         else:
-            paths = [_sf_adsl_path(rng), _sf_adsl_path(rng)]
+            paths = (_sf_adsl_path(rng), _sf_adsl_path(rng))
             mu = rng.choice([25.0, 50.0])
             kind = "homogeneous"
+        specs.append(_ExperimentSpec(
+            index=index, kind=kind, mu=mu, paths=paths,
+            duration_s=duration, seed=seed + 17 * index,
+            taus=tuple(taus),
+            model_horizon_s=profile.model_horizon_s,
+            model_seed=seed + 31 * index))
 
-        # Wide-area paths have a large bandwidth-delay product; the
-        # default 16-packet send buffer would cap the in-flight window
-        # below fair share (and hide the true loss rate from the
-        # measurement), so size it to cover the largest path BDP.
-        session = StreamingSession(
-            mu=mu, duration_s=duration, paths=paths, scheme="dmp",
-            seed=seed + 17 * index,
-            segment_bytes=INTERNET_SEGMENT_BYTES,
-            send_buffer_pkts=48)
-        run = session.run()
-
-        measured = [{
-            "p": stats["loss_event_estimate"],
-            "rtt": stats["mean_rtt"],
-            "to": stats["timeout_ratio"],
-        } for stats in run.flow_stats]
-        flow_params = [
-            FlowParams(p=max(m["p"], MIN_MEASURED_P), rtt=m["rtt"],
-                       to_ratio=max(m["to"], MIN_MEASURED_TO),
-                       loss_model=MEASURED_LOSS_MODEL)
-            for m in measured]
-
-        sim_late = {}
-        sim_ao = {}
-        model_late = {}
-        for tau in taus:
-            metrics = run.metrics(tau)
-            sim_late[tau] = metrics.late_fraction
-            sim_ao[tau] = metrics.arrival_order_late_fraction
-            model = DmpModel(flow_params, mu=mu, tau=tau)
-            estimate = model.late_fraction_mc(
-                horizon_s=profile.model_horizon_s,
-                seed=seed + 31 * index)
-            model_late[tau] = estimate.late_fraction
-
-        results.append(InternetExperimentResult(
-            index=index, kind=kind, mu=mu, measured=measured,
-            sim_late=sim_late, sim_arrival_order_late=sim_ao,
-            model_late=model_late))
-    return results
+    executor = ReplicationExecutor(max_workers=max_workers)
+    return executor.map(_run_experiment, specs)
 
 
 def scatter_points(results: Sequence[InternetExperimentResult]) -> \

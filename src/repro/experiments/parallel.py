@@ -1,0 +1,172 @@
+"""Parallel fan-out of replicated simulations and model solves.
+
+The paper's methodology is 30 replications x 10,000 simulated seconds
+per setting; each replication is an independent pure function of its
+seed, so the natural unit of parallelism is one ``StreamingSession``
+run (and, on the model side, one ``late_fraction_mc`` solve per
+startup delay).  :class:`ReplicationExecutor` fans those units out over
+a ``concurrent.futures.ProcessPoolExecutor``.
+
+Determinism is the contract: replication ``run`` always gets seed
+``seed0 + run`` and the per-run work is executed by the *same*
+top-level functions (:func:`simulate_run`, :func:`solve_model`)
+whether it runs in a worker process or inline, so parallel results are
+bit-identical to serial ones and cache keys are stable.
+
+Degradation rules:
+
+* ``max_workers <= 1`` (the default) never creates a pool;
+* a pool that cannot be created at all (sandboxed environments without
+  fork/spawn, missing ``/dev/shm``...) falls back to serial execution
+  with a warning;
+* a crashed worker (killed by the OOM killer, a BrokenProcessPool...)
+  gets its item retried once serially; if the retry also fails, the
+  underlying exception propagates — that is a genuine bug, not an
+  infrastructure hiccup.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.session import StreamingSession
+from repro.experiments.cache import tau_key
+from repro.experiments.configs import Setting
+from repro.model.dmp_model import DmpModel, LateFractionEstimate
+from repro.model.tcp_chain import FlowParams
+
+ENV_WORKERS = "REPRO_WORKERS"
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Everything needed to (re)build one replication, picklable."""
+
+    setting: Setting
+    duration_s: float
+    scheme: str
+    seed: int
+    send_buffer_pkts: int
+    taus: Tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class ModelTask:
+    """One ``late_fraction_mc`` solve, picklable."""
+
+    flows: Tuple[FlowParams, ...]
+    mu: float
+    tau: float
+    horizon_s: float
+    seed: int
+
+
+def simulate_run(spec: RunSpec) -> dict:
+    """Run one replication; returns a JSON-able record.
+
+    The record is exactly what the cache stores: the per-flow stats and
+    the (playback-order, arrival-order) late fractions at each
+    requested startup delay.
+    """
+    session = StreamingSession(
+        mu=spec.setting.mu, duration_s=spec.duration_s,
+        paths=spec.setting.path_configs(), scheme=spec.scheme,
+        shared_bottleneck=spec.setting.shared_bottleneck,
+        seed=spec.seed, send_buffer_pkts=spec.send_buffer_pkts)
+    result = session.run()
+    taus = {}
+    for tau in spec.taus:
+        metrics = result.metrics(tau)
+        taus[tau_key(tau)] = [metrics.late_fraction,
+                              metrics.arrival_order_late_fraction]
+    return {"flow_stats": result.flow_stats, "taus": taus}
+
+
+def solve_model(task: ModelTask) -> LateFractionEstimate:
+    """Run one model Monte-Carlo solve."""
+    model = DmpModel(list(task.flows), mu=task.mu, tau=task.tau)
+    return model.late_fraction_mc(horizon_s=task.horizon_s,
+                                  seed=task.seed)
+
+
+class ReplicationExecutor:
+    """Order-preserving map over processes with serial fallback."""
+
+    def __init__(self, max_workers: Optional[int] = None):
+        if max_workers is None:
+            max_workers = default_max_workers()
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers
+
+    def map(self, fn: Callable, items: Sequence) -> List:
+        """Apply ``fn`` to every item, preserving input order."""
+        items = list(items)
+        workers = min(self.max_workers, len(items))
+        if workers <= 1:
+            return [fn(item) for item in items]
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+            results: List = [None] * len(items)
+            failed: List[int] = []
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [pool.submit(fn, item) for item in items]
+                for idx, future in enumerate(futures):
+                    try:
+                        results[idx] = future.result()
+                    except Exception as exc:
+                        warnings.warn(
+                            f"parallel worker failed on item {idx} "
+                            f"({exc!r}); retrying serially",
+                            RuntimeWarning, stacklevel=2)
+                        failed.append(idx)
+            for idx in failed:
+                # Second failure propagates: it is not a pool problem.
+                results[idx] = fn(items[idx])
+            return results
+        except (ImportError, OSError, PermissionError) as exc:
+            warnings.warn(
+                f"process pool unavailable ({exc!r}); "
+                "running serially", RuntimeWarning, stacklevel=2)
+            return [fn(item) for item in items]
+
+    def run_replications(self, specs: Sequence[RunSpec]) -> List[dict]:
+        return self.map(simulate_run, specs)
+
+    def solve_models(self, tasks: Sequence[ModelTask]) \
+            -> List[LateFractionEstimate]:
+        return self.map(solve_model, tasks)
+
+
+# ---------------------------------------------------------------------
+# Process-wide default (wired by the CLI and benchmarks/conftest.py)
+# ---------------------------------------------------------------------
+_default: dict = {"max_workers": None}
+
+
+def configure(max_workers: Optional[int] = None) -> None:
+    """Set the default worker count used when callers pass None.
+
+    ``None`` restores the initial behaviour: ``$REPRO_WORKERS`` when
+    set, otherwise serial execution.
+    """
+    if max_workers is not None and max_workers < 1:
+        raise ValueError("max_workers must be >= 1")
+    _default["max_workers"] = max_workers
+
+
+def default_max_workers() -> int:
+    """Resolve the default worker count (configure > env > 1)."""
+    if _default["max_workers"] is not None:
+        return _default["max_workers"]
+    env = os.environ.get(ENV_WORKERS)
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            warnings.warn(f"ignoring non-integer {ENV_WORKERS}={env!r}",
+                          RuntimeWarning)
+    return 1

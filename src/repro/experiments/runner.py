@@ -24,9 +24,13 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.session import StreamingSession
+from repro.experiments.cache import resolve_cache, tau_key
 from repro.experiments.configs import Setting
-from repro.model.dmp_model import DmpModel
+from repro.experiments.parallel import (
+    ModelTask,
+    ReplicationExecutor,
+    RunSpec,
+)
 from repro.model.tcp_chain import FlowParams
 
 DEFAULT_TAUS = (4.0, 6.0, 8.0, 10.0)
@@ -123,25 +127,46 @@ class ReplicatedRun:
         return all(pt.match for pt in self.points)
 
 
+# Student-t 97.5% quantiles keyed by degrees of freedom; intermediate
+# dof are interpolated linearly in 1/dof (the standard textbook rule),
+# with 1.96 as the dof -> infinity anchor.
+_T_TABLE = {1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+            6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+            11: 2.201, 12: 2.179, 13: 2.160, 14: 2.145, 15: 2.131,
+            20: 2.086, 25: 2.060, 30: 2.042, 40: 2.021, 60: 2.000,
+            120: 1.980}
+_T_INF = 1.960
+
+
+def _t_ci95(dof: int) -> float:
+    """97.5% Student-t quantile for ``dof`` degrees of freedom."""
+    if dof < 1:
+        raise ValueError("dof must be >= 1")
+    exact = _T_TABLE.get(dof)
+    if exact is not None:
+        return exact
+    keys = sorted(_T_TABLE)
+    hi_key = keys[-1]
+    if dof > hi_key:
+        lo_key, lo_t = hi_key, _T_TABLE[hi_key]
+        hi_inv, hi_t = 0.0, _T_INF
+    else:
+        lo_key = max(k for k in keys if k < dof)
+        hi_key = min(k for k in keys if k > dof)
+        lo_t = _T_TABLE[lo_key]
+        hi_inv, hi_t = 1.0 / hi_key, _T_TABLE[hi_key]
+    lo_inv = 1.0 / lo_key
+    frac = (lo_inv - 1.0 / dof) / (lo_inv - hi_inv)
+    return lo_t + frac * (hi_t - lo_t)
+
+
 def _mean_ci95(values: Sequence[float]) -> tuple:
     n = len(values)
     mean = sum(values) / n
     if n < 2:
         return mean, float("inf")
     var = sum((v - mean) ** 2 for v in values) / (n - 1)
-    # Student-t 97.5% quantiles for small n; 1.96 beyond the table.
-    t_table = {2: 12.71, 3: 4.30, 4: 3.18, 5: 2.78, 6: 2.57, 7: 2.45,
-               8: 2.36, 9: 2.31, 10: 2.26, 15: 2.14, 20: 2.09, 30: 2.04}
-    dof = n - 1
-    t_val = t_table.get(dof)
-    if t_val is None:
-        keys = sorted(t_table)
-        t_val = 1.96
-        for key in keys:
-            if dof <= key:
-                t_val = t_table[key]
-                break
-    return mean, t_val * math.sqrt(var / n)
+    return mean, _t_ci95(n - 1) * math.sqrt(var / n)
 
 
 def run_setting(setting: Setting,
@@ -150,31 +175,54 @@ def run_setting(setting: Setting,
                 scheme: str = "dmp",
                 seed0: int = 1000,
                 send_buffer_pkts: int = 16,
-                run_model: bool = True) -> ReplicatedRun:
+                run_model: bool = True,
+                max_workers: Optional[int] = None,
+                cache=None,
+                executor: Optional[ReplicationExecutor] = None) \
+        -> ReplicatedRun:
     """Run one validation setting: N simulations + the model.
 
     The model is fed the *measured* per-path (p, R, T_O) averaged over
     the replications — exactly the paper's methodology for Tables 2-3
     and Figs. 4-7.
+
+    Replications (and the per-tau model solves) fan out over a process
+    pool when ``max_workers > 1`` (default: the value wired by
+    :func:`repro.experiments.parallel.configure` or ``$REPRO_WORKERS``,
+    else serial); seeding stays ``seed0 + run`` regardless, so parallel
+    results are bit-identical to serial ones.  ``cache`` is a
+    :class:`repro.experiments.cache.ResultCache` (``None`` = the
+    configured default, ``False`` = bypass): already-simulated
+    (setting, seed) records are reused instead of re-simulated.
     """
     if profile is None:
         profile = scale_profile()
-    paths = setting.path_configs()
+    if executor is None:
+        executor = ReplicationExecutor(max_workers=max_workers)
+    cache = resolve_cache(cache)
 
-    per_tau: Dict[float, List[float]] = {tau: [] for tau in taus}
-    per_tau_ao: Dict[float, List[float]] = {tau: [] for tau in taus}
-    stats_acc: List[List[dict]] = []
-    for run in range(profile.runs):
-        session = StreamingSession(
-            mu=setting.mu, duration_s=profile.duration_s, paths=paths,
-            scheme=scheme, shared_bottleneck=setting.shared_bottleneck,
-            seed=seed0 + run, send_buffer_pkts=send_buffer_pkts)
-        result = session.run()
-        stats_acc.append(result.flow_stats)
-        for tau in taus:
-            metrics = result.metrics(tau)
-            per_tau[tau].append(metrics.late_fraction)
-            per_tau_ao[tau].append(metrics.arrival_order_late_fraction)
+    taus = [float(tau) for tau in taus]
+    specs = [RunSpec(setting=setting, duration_s=profile.duration_s,
+                     scheme=scheme, seed=seed0 + run,
+                     send_buffer_pkts=send_buffer_pkts,
+                     taus=tuple(taus))
+             for run in range(profile.runs)]
+    records: List[Optional[dict]] = [
+        cache.get_run(spec) if cache else None for spec in specs]
+    missing = [idx for idx, rec in enumerate(records) if rec is None]
+    fresh = executor.run_replications([specs[idx] for idx in missing])
+    for idx, record in zip(missing, fresh):
+        records[idx] = record
+        if cache:
+            cache.put_run(specs[idx], record)
+
+    per_tau: Dict[float, List[float]] = {
+        tau: [rec["taus"][tau_key(tau)][0] for rec in records]
+        for tau in taus}
+    per_tau_ao: Dict[float, List[float]] = {
+        tau: [rec["taus"][tau_key(tau)][1] for rec in records]
+        for tau in taus}
+    stats_acc: List[List[dict]] = [rec["flow_stats"] for rec in records]
 
     # Average measured flow parameters over the replications.
     k = len(stats_acc[0])
@@ -195,14 +243,29 @@ def run_setting(setting: Setting,
                    loss_model=MEASURED_LOSS_MODEL)
         for m in measured]
 
+    estimates = {}
+    if run_model:
+        tasks = [ModelTask(flows=tuple(flow_params), mu=setting.mu,
+                           tau=tau, horizon_s=profile.model_horizon_s,
+                           seed=seed0) for tau in taus]
+        cached = [cache.get_model(task) if cache else None
+                  for task in tasks]
+        unsolved = [idx for idx, est in enumerate(cached)
+                    if est is None]
+        solved = executor.solve_models(
+            [tasks[idx] for idx in unsolved])
+        for idx, estimate in zip(unsolved, solved):
+            cached[idx] = estimate
+            if cache:
+                cache.put_model(tasks[idx], estimate)
+        estimates = dict(zip(taus, cached))
+
     points: List[TauPoint] = []
     for tau in taus:
         sim_mean, ci = _mean_ci95(per_tau[tau])
         ao_mean = sum(per_tau_ao[tau]) / len(per_tau_ao[tau])
         if run_model:
-            model = DmpModel(flow_params, mu=setting.mu, tau=tau)
-            estimate = model.late_fraction_mc(
-                horizon_s=profile.model_horizon_s, seed=seed0)
+            estimate = estimates[tau]
             model_f, model_se = estimate.late_fraction, estimate.stderr
         else:
             model_f, model_se = float("nan"), float("nan")

@@ -19,6 +19,8 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.experiments.cache import resolve_cache
+from repro.experiments.parallel import ModelTask, ReplicationExecutor
 from repro.model.dmp_model import DmpModel
 from repro.model.singlepath import SinglePathModel
 from repro.model.tcp_chain import FlowParams, TcpFlowChain
@@ -100,19 +102,40 @@ def fig8_curves(p: float = 0.02, to_ratio: float = 4.0,
                 ratios: Sequence[float] = (1.2, 1.4, 1.6, 1.8, 2.0),
                 taus: Sequence[float] = tuple(range(2, 31, 2)),
                 horizon_s: float = 20000.0,
-                seed: int = 0) -> Dict[float, List[Tuple[float, float]]]:
-    """Late fraction vs startup delay for several sigma_a/mu ratios."""
-    curves: Dict[float, List[Tuple[float, float]]] = {}
-    for ratio in ratios:
+                seed: int = 0,
+                max_workers: Optional[int] = None,
+                cache=None) -> Dict[float, List[Tuple[float, float]]]:
+    """Late fraction vs startup delay for several sigma_a/mu ratios.
+
+    The full (ratio, tau) grid of Monte-Carlo solves fans out over a
+    process pool (``max_workers`` > 1, or the configured default) and
+    consults the on-disk result cache; either way each point keeps the
+    same seed, so output is identical to the serial sweep.
+    """
+    executor = ReplicationExecutor(max_workers=max_workers)
+    cache = resolve_cache(cache)
+    grid: List[Tuple[float, float]] = [
+        (ratio, float(tau)) for ratio in ratios for tau in taus]
+    tasks = []
+    for ratio, tau in grid:
         rtt = rtt_for_ratio(p, to_ratio, mu, ratio)
         params = FlowParams(p=p, rtt=rtt, to_ratio=to_ratio)
-        model = DmpModel([params, params], mu=mu, tau=taus[0])
-        points = []
-        for tau in taus:
-            estimate = model.with_tau(tau).late_fraction_mc(
-                horizon_s=horizon_s, seed=seed)
-            points.append((tau, estimate.late_fraction))
-        curves[ratio] = points
+        tasks.append(ModelTask(flows=(params, params), mu=mu, tau=tau,
+                               horizon_s=horizon_s, seed=seed))
+    estimates = [cache.get_model(task) if cache else None
+                 for task in tasks]
+    unsolved = [idx for idx, est in enumerate(estimates)
+                if est is None]
+    solved = executor.solve_models([tasks[idx] for idx in unsolved])
+    for idx, estimate in zip(unsolved, solved):
+        estimates[idx] = estimate
+        if cache:
+            cache.put_model(tasks[idx], estimate)
+
+    curves: Dict[float, List[Tuple[float, float]]] = {
+        ratio: [] for ratio in ratios}
+    for (ratio, tau), estimate in zip(grid, estimates):
+        curves[ratio].append((tau, estimate.late_fraction))
     return curves
 
 

@@ -1,0 +1,245 @@
+"""Tests for the on-disk result cache."""
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.experiments import cache as cache_mod
+from repro.experiments.cache import (
+    CODE_VERSION,
+    ResultCache,
+    resolve_cache,
+    tau_key,
+)
+from repro.experiments.configs import Setting
+from repro.experiments.parallel import ModelTask, RunSpec
+from repro.experiments.runner import ScaleProfile, run_setting
+from repro.model.dmp_model import LateFractionEstimate
+from repro.model.tcp_chain import FlowParams
+
+TINY = ScaleProfile("tiny", runs=2, duration_s=40.0,
+                    model_horizon_s=1000.0)
+SETTING = Setting("4-4", (4, 4), mu=80)
+
+
+def _spec(**overrides):
+    base = dict(setting=SETTING, duration_s=40.0, scheme="dmp",
+                seed=7, send_buffer_pkts=16, taus=(2.0,))
+    base.update(overrides)
+    return RunSpec(**base)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(str(tmp_path))
+
+
+# ---------------------------------------------------------------------
+# Hit / miss and record merging
+# ---------------------------------------------------------------------
+def test_run_record_round_trip(cache):
+    spec = _spec()
+    assert cache.get_run(spec) is None
+    assert cache.misses == 1
+    record = {"flow_stats": [{"mean_rtt": 0.1}],
+              "taus": {tau_key(2.0): [0.5, 0.4]}}
+    cache.put_run(spec, record)
+    assert cache.stores == 1
+    assert cache.get_run(spec) == record
+    assert cache.hits == 1
+
+
+def test_missing_tau_is_a_miss_and_taus_merge(cache):
+    spec2 = _spec(taus=(2.0,))
+    cache.put_run(spec2, {"flow_stats": [],
+                          "taus": {tau_key(2.0): [0.5, 0.4]}})
+    spec4 = _spec(taus=(2.0, 4.0))
+    assert cache.get_run(spec4) is None  # tau=4 not covered yet
+    cache.put_run(spec4, {"flow_stats": [],
+                          "taus": {tau_key(4.0): [0.2, 0.1]}})
+    merged = cache.get_run(spec4)
+    assert merged["taus"] == {tau_key(2.0): [0.5, 0.4],
+                              tau_key(4.0): [0.2, 0.1]}
+    # The original single-tau view still hits too.
+    assert cache.get_run(spec2) is not None
+
+
+# ---------------------------------------------------------------------
+# Key sensitivity
+# ---------------------------------------------------------------------
+def test_run_key_sensitive_to_every_field(cache):
+    base = _spec()
+    variants = [
+        _spec(setting=Setting("4-4x", (4, 4), mu=80)),
+        _spec(setting=Setting("4-4", (4, 3), mu=80)),
+        _spec(setting=Setting("4-4", (4, 4), mu=81)),
+        _spec(setting=Setting("4-4", (4, 4), mu=80,
+                              shared_bottleneck=True)),
+        _spec(duration_s=41.0),
+        _spec(scheme="static"),
+        _spec(seed=8),
+        _spec(send_buffer_pkts=17),
+    ]
+    keys = {cache.run_key(spec) for spec in variants}
+    keys.add(cache.run_key(base))
+    assert len(keys) == len(variants) + 1  # all distinct
+
+
+def test_run_key_ignores_taus(cache):
+    assert cache.run_key(_spec(taus=(2.0,))) \
+        == cache.run_key(_spec(taus=(2.0, 4.0, 8.0)))
+
+
+def test_key_embeds_code_version(cache, monkeypatch):
+    spec = _spec()
+    before = cache.run_key(spec)
+    monkeypatch.setattr(cache_mod, "CODE_VERSION", CODE_VERSION + 1)
+    assert cache.run_key(spec) != before
+
+
+def test_model_key_sensitive_to_flows_and_inputs(cache):
+    flow = FlowParams(p=0.02, rtt=0.1, to_ratio=2.0)
+    base = ModelTask(flows=(flow, flow), mu=20.0, tau=4.0,
+                     horizon_s=1000.0, seed=0)
+    variants = [
+        dataclasses.replace(base, flows=(
+            FlowParams(p=0.03, rtt=0.1, to_ratio=2.0), flow)),
+        dataclasses.replace(base, flows=(flow,)),
+        dataclasses.replace(base, mu=21.0),
+        dataclasses.replace(base, tau=5.0),
+        dataclasses.replace(base, horizon_s=2000.0),
+        dataclasses.replace(base, seed=1),
+    ]
+    keys = {cache.model_key(task) for task in variants}
+    keys.add(cache.model_key(base))
+    assert len(keys) == len(variants) + 1
+
+
+# ---------------------------------------------------------------------
+# Directory resolution
+# ---------------------------------------------------------------------
+def test_cache_dir_env_override(tmp_path, monkeypatch):
+    monkeypatch.setenv(cache_mod.ENV_CACHE_DIR, str(tmp_path / "env"))
+    assert ResultCache().directory == str(tmp_path / "env")
+    monkeypatch.delenv(cache_mod.ENV_CACHE_DIR)
+    assert ResultCache().directory.endswith(
+        os.path.join(".cache", "repro"))
+    # An explicit directory beats the environment.
+    monkeypatch.setenv(cache_mod.ENV_CACHE_DIR, str(tmp_path / "env"))
+    assert ResultCache(str(tmp_path / "arg")).directory \
+        == str(tmp_path / "arg")
+
+
+# ---------------------------------------------------------------------
+# Robustness
+# ---------------------------------------------------------------------
+def test_corrupted_record_is_a_miss(cache, tmp_path):
+    spec = _spec()
+    cache.put_run(spec, {"flow_stats": [],
+                         "taus": {tau_key(2.0): [0.5, 0.4]}})
+    path = os.path.join(str(tmp_path), cache.run_key(spec) + ".json")
+    full = open(path).read()
+    with open(path, "w") as handle:
+        handle.write(full[:len(full) // 2])  # truncated JSON
+    assert cache.get_run(spec) is None
+    # And a fresh put repairs it.
+    cache.put_run(spec, {"flow_stats": [],
+                         "taus": {tau_key(2.0): [0.5, 0.4]}})
+    assert cache.get_run(spec) is not None
+
+
+def test_non_dict_and_schema_less_records_are_misses(cache, tmp_path):
+    spec = _spec()
+    path = os.path.join(str(tmp_path), cache.run_key(spec) + ".json")
+    os.makedirs(str(tmp_path), exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump([1, 2, 3], handle)
+    assert cache.get_run(spec) is None
+    with open(path, "w") as handle:
+        json.dump({"taus": "not-a-dict", "flow_stats": []}, handle)
+    assert cache.get_run(spec) is None
+
+
+def test_corrupted_model_record_is_a_miss(cache, tmp_path):
+    flow = FlowParams(p=0.02, rtt=0.1, to_ratio=2.0)
+    task = ModelTask(flows=(flow,), mu=20.0, tau=4.0,
+                     horizon_s=1000.0, seed=0)
+    path = os.path.join(str(tmp_path), cache.model_key(task) + ".json")
+    os.makedirs(str(tmp_path), exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump({"late_fraction": "NaN-ish-garbage"}, handle)
+    assert cache.get_model(task) is None
+
+
+def test_unwritable_directory_degrades_to_no_caching(tmp_path):
+    blocker = tmp_path / "not-a-dir"
+    blocker.write_text("occupied")
+    broken = ResultCache(str(blocker / "sub"))
+    broken.put_run(_spec(), {"flow_stats": [], "taus": {}})
+    assert broken.stores == 0  # silently skipped, no exception
+
+
+def test_model_estimate_round_trip(cache):
+    flow = FlowParams(p=0.02, rtt=0.1, to_ratio=2.0)
+    task = ModelTask(flows=(flow, flow), mu=20.0, tau=4.0,
+                     horizon_s=1000.0, seed=0)
+    estimate = LateFractionEstimate(
+        late_fraction=0.0125, stderr=0.001, horizon_s=1000.0,
+        method="mc", path_shares=(0.5, 0.5))
+    cache.put_model(task, estimate)
+    assert cache.get_model(task) == estimate
+
+
+# ---------------------------------------------------------------------
+# run_setting integration: warm cache means zero new simulations
+# ---------------------------------------------------------------------
+def test_warm_cache_skips_all_simulation(cache, monkeypatch):
+    cold = run_setting(SETTING, taus=(2.0,), profile=TINY, seed0=7,
+                       run_model=False, cache=cache)
+    assert cache.stores == TINY.runs
+
+    from repro.experiments import parallel
+
+    def bomb(spec):
+        raise AssertionError("warm cache must not simulate")
+
+    monkeypatch.setattr(parallel, "simulate_run", bomb)
+    warm = run_setting(SETTING, taus=(2.0,), profile=TINY, seed0=7,
+                       run_model=False, cache=cache)
+    assert warm.per_run_late == cold.per_run_late
+    assert warm.measured == cold.measured
+    assert [(pt.tau, pt.sim_mean, pt.sim_ci95,
+             pt.sim_arrival_order_mean) for pt in warm.points] \
+        == [(pt.tau, pt.sim_mean, pt.sim_ci95,
+             pt.sim_arrival_order_mean) for pt in cold.points]
+
+
+def test_cache_false_bypasses_default(tmp_path, monkeypatch):
+    cache_mod.configure(enabled=True, directory=str(tmp_path))
+    try:
+        run_setting(SETTING, taus=(2.0,), profile=TINY, seed0=7,
+                    run_model=False, cache=False)
+        assert os.listdir(str(tmp_path)) == []  # bypassed
+        run_setting(SETTING, taus=(2.0,), profile=TINY, seed0=7,
+                    run_model=False)  # cache=None -> default
+        assert len(os.listdir(str(tmp_path))) == TINY.runs
+    finally:
+        cache_mod.configure(enabled=None, directory=None)
+
+
+def test_resolve_cache_semantics(tmp_path):
+    cache_mod.configure(enabled=False)
+    try:
+        assert resolve_cache(None) is None
+        assert resolve_cache(False) is None
+        explicit = ResultCache(str(tmp_path))
+        assert resolve_cache(explicit) is explicit
+        cache_mod.configure(enabled=True, directory=str(tmp_path))
+        default = resolve_cache(None)
+        assert isinstance(default, ResultCache)
+        assert default.directory == str(tmp_path)
+        assert resolve_cache(None) is default  # shared instance
+    finally:
+        cache_mod.configure(enabled=None, directory=None)

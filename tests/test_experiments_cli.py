@@ -45,3 +45,23 @@ def test_cli_scale_flag(tmp_path, capsys):
     assert cli.main(["sec73", "--scale", "quick"]) == 0
     with pytest.raises(SystemExit):
         cli.main(["sec73", "--scale", "enormous"])
+
+
+def test_cli_workers_and_cache_flags(tmp_path, capsys):
+    from repro.experiments import cache as result_cache
+    from repro.experiments import parallel
+
+    assert cli.main(["sec73", "--workers", "2", "--no-cache",
+                     "--cache-dir", str(tmp_path)]) == 0
+    capsys.readouterr()
+    # The CLI's configuration must not leak into the process defaults.
+    assert parallel._default["max_workers"] is None
+    assert result_cache._default["enabled"] is None
+    with pytest.raises(SystemExit):
+        cli.main(["sec73", "--workers", "0"])
+
+
+def test_cli_reports_cache_stats(tmp_path, capsys):
+    assert cli.main(["sec73", "--cache-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "cache: 0 hits / 0 misses" in out  # sec73 never simulates

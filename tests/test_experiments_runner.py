@@ -38,6 +38,30 @@ def test_mean_ci95():
     assert ci_single == float("inf")
 
 
+def test_t_quantiles_pinned():
+    """97.5% Student-t quantiles at tabulated and interpolated dof.
+
+    dof=11 is the regression case: the old fallback returned the next
+    tabulated entry (2.14, i.e. dof=14's value) instead of 2.201,
+    understating every intermediate-dof confidence interval.
+    """
+    from repro.experiments.runner import _t_ci95
+    assert _t_ci95(1) == pytest.approx(12.706)
+    assert _t_ci95(11) == pytest.approx(2.201)
+    # Interpolated in 1/dof between dof=25 and dof=30.
+    assert _t_ci95(29) == pytest.approx(2.045, abs=2e-3)
+    # Interpolated between dof=60 and dof=120; scipy gives 1.984.
+    assert _t_ci95(100) == pytest.approx(1.984, abs=2e-3)
+    # Beyond the table: between the last entry and the normal anchor.
+    assert 1.96 < _t_ci95(1000) < 1.98
+    # Monotone decreasing toward 1.96.
+    values = [_t_ci95(d) for d in range(1, 200)]
+    assert all(a >= b for a, b in zip(values, values[1:]))
+    assert values[-1] > 1.96
+    with pytest.raises(ValueError):
+        _t_ci95(0)
+
+
 def test_run_setting_end_to_end():
     setting = Setting("4-4", (4, 4), mu=80)
     run = run_setting(setting, taus=(2.0, 6.0), profile=TINY,

@@ -211,3 +211,42 @@ def test_mc_late_fraction_in_unit_interval(params, mu, tau, seed):
     model = DmpModel([params, params], mu=mu, tau=tau)
     est = model.late_fraction_mc(horizon_s=300.0, seed=seed)
     assert 0.0 <= est.late_fraction <= 1.0 + 1e-9
+
+
+# ---------------------------------------------------------------------
+# Simulator-core determinism (the parallel executor's contract)
+# ---------------------------------------------------------------------
+def _tiny_session(seed, scheme):
+    from repro.core.session import PathConfig, StreamingSession
+    from repro.sim.topology import BottleneckSpec
+
+    spec = BottleneckSpec(bandwidth_bps=1.5e6, delay_s=0.02,
+                          buffer_pkts=20)
+    paths = [PathConfig(bottleneck=spec, n_ftp=1, n_http=2)
+             for _ in range(2)]
+    return StreamingSession(mu=30, duration_s=20.0, paths=paths,
+                            scheme=scheme, seed=seed)
+
+
+@settings(max_examples=4, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1),
+       scheme=st.sampled_from(["dmp", "static"]))
+def test_session_same_seed_is_bit_identical(seed, scheme):
+    """Two runs with the same seed must agree exactly — the invariant
+    that makes fan-out over processes (and the on-disk cache) sound."""
+    a = _tiny_session(seed, scheme).run(drain_s=10.0)
+    b = _tiny_session(seed, scheme).run(drain_s=10.0)
+    assert a.arrivals == b.arrivals
+    assert a.flow_stats == b.flow_stats
+    for tau in (1.0, 4.0):
+        assert a.late_fraction(tau) == b.late_fraction(tau)
+
+
+@settings(max_examples=4, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**30))
+def test_session_different_seeds_differ(seed):
+    """Different seeds must yield different event traces — otherwise
+    averaging replications would be a no-op."""
+    a = _tiny_session(seed, "dmp").run(drain_s=10.0)
+    b = _tiny_session(seed + 1, "dmp").run(drain_s=10.0)
+    assert a.arrivals != b.arrivals
