@@ -12,7 +12,7 @@ from conftest import run_once
 from repro.experiments.configs import CALIBRATED_CONFIGS
 from repro.experiments.report import render_table
 from repro.experiments.runner import scale_profile
-from repro.core.session import PathConfig, StreamingSession
+from repro.core.session import StreamingSession
 from repro.sim.queueing import REDQueue
 
 MU = 50.0

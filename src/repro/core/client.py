@@ -12,16 +12,24 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from repro.core.packets import VideoPacket
+from repro.obs.bus import NULL_PROBE
 
 
 class StreamClient:
-    """Receives video packets from one or more TCP connections."""
+    """Receives video packets from one or more TCP connections.
 
-    def __init__(self):
+    Passing the simulator enables the ``client.arrival`` probe point
+    (and ``client.buffer`` for the buffered variant).
+    """
+
+    def __init__(self, sim=None):
         self.arrivals: List[Tuple[int, float]] = []
         self._arrival_time: Dict[int, float] = {}
         self.per_path_counts: Dict[str, int] = {}
         self.duplicates = 0
+        self._sim = sim
+        self._p_arrival = sim.bus.probe("client.arrival") \
+            if sim is not None else NULL_PROBE
 
     def deliver_callback(self, path_name: str):
         """Make an ``on_deliver`` callback for one TCP connection."""
@@ -44,6 +52,12 @@ class StreamClient:
         self.arrivals.append((packet.number, time))
         self.per_path_counts[path_name] = \
             self.per_path_counts.get(path_name, 0) + 1
+        if self._p_arrival.active:
+            self._p_arrival.emit(time, path_name, packet.number)
+        self._emit_buffer_level(time)
+
+    def _emit_buffer_level(self, time: float) -> None:
+        """Hook for the buffered variant's ``client.buffer`` probe."""
 
     # ------------------------------------------------------------------
     @property
@@ -80,7 +94,7 @@ class BufferedStreamClient(StreamClient):
 
     def __init__(self, sim, mu: float, tau: float, capacity: int,
                  stream_start: float = 0.0):
-        super().__init__()
+        super().__init__(sim=sim)
         if mu <= 0 or tau < 0:
             raise ValueError("need mu > 0 and tau >= 0")
         if capacity < 1:
@@ -91,6 +105,11 @@ class BufferedStreamClient(StreamClient):
         self.capacity = capacity
         self.stream_start = stream_start
         self.zero_window_acks = 0
+        self._p_buffer = sim.bus.probe("client.buffer")
+
+    def _emit_buffer_level(self, time: float) -> None:
+        if self._p_buffer.active:
+            self._p_buffer.emit(time, self.early_packets())
 
     def played_by_now(self) -> int:
         """Packets consumed by the playback process so far."""

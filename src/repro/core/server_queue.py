@@ -14,17 +14,30 @@ from collections import deque
 from typing import Optional
 
 from repro.core.packets import VideoPacket
+from repro.obs.bus import NULL_PROBE
 
 
 class ServerQueue:
-    """FIFO queue of generated-but-unsent video packets."""
+    """FIFO queue of generated-but-unsent video packets.
 
-    def __init__(self):
+    Passing the owning simulator enables the ``server_queue.push`` /
+    ``server_queue.fetch`` probe points (queue-depth evolution and
+    per-path fetch events); without it the queue is unobserved, which
+    keeps unit-test construction trivial.
+    """
+
+    def __init__(self, sim=None):
         self._queue: deque = deque()
         self._locked_by: Optional[object] = None
         self.enqueued = 0
         self.fetched = 0
         self.max_depth = 0
+        self._sim = sim
+        if sim is not None:
+            self._p_push = sim.bus.probe("server_queue.push")
+            self._p_fetch = sim.bus.probe("server_queue.fetch")
+        else:
+            self._p_push = self._p_fetch = NULL_PROBE
 
     # ------------------------------------------------------------------
     def push(self, packet: VideoPacket) -> None:
@@ -36,6 +49,8 @@ class ServerQueue:
         self.enqueued += 1
         if len(self._queue) > self.max_depth:
             self.max_depth = len(self._queue)
+        if self._p_push.active:
+            self._p_push.emit(self._sim.now, len(self._queue))
 
     # ------------------------------------------------------------------
     # Lock protocol (Fig. 2).  In the discrete-event simulator fetches
@@ -60,7 +75,12 @@ class ServerQueue:
         if not self._queue:
             return None
         self.fetched += 1
-        return self._queue.popleft()
+        packet = self._queue.popleft()
+        if self._p_fetch.active:
+            self._p_fetch.emit(self._sim.now,
+                               getattr(owner, "name", repr(owner)),
+                               len(self._queue))
+        return packet
 
     # ------------------------------------------------------------------
     def peek(self) -> Optional[VideoPacket]:

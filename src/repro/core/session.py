@@ -10,7 +10,7 @@ record and tcpdump-style per-flow estimates of (p, R, T_O).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.core.client import BufferedStreamClient, StreamClient
@@ -23,12 +23,16 @@ from repro.core.metrics import (
 from repro.core.server_queue import ServerQueue
 from repro.core.source import VideoSource
 from repro.core.streamers import DmpStreamer, StaticStreamer
+from repro.obs.bus import EventBus
+from repro.obs.sampler import TimeSeriesSampler
+from repro.obs.sinks import CountersSink, JsonlSink, TraceSink
 from repro.sim.engine import Simulator
 from repro.sim.topology import (
     BottleneckSpec,
     IndependentPathsTopology,
     SharedBottleneckTopology,
 )
+from repro.sim.trace import PacketTrace
 from repro.tcp.socket import TcpConnection
 from repro.traffic.ftp import FtpFlow
 from repro.traffic.http import HttpFlow
@@ -86,8 +90,7 @@ class StreamingSession:
                  static_weights: Optional[Sequence[float]] = None,
                  tcp_variant: str = "reno",
                  client_buffer_pkts: Optional[int] = None,
-                 client_tau: float = 10.0,
-                 trace=None):
+                 client_tau: float = 10.0):
         if scheme not in ("dmp", "static", "single"):
             raise ValueError(f"unknown scheme: {scheme}")
         if scheme == "single" and len(paths) != 1:
@@ -106,15 +109,19 @@ class StreamingSession:
                 raise ValueError(
                     "shared bottleneck requires one common spec")
             topo = SharedBottleneckTopology(
-                self.sim, paths[0].bottleneck, trace=trace,
-                n_paths=len(paths))
+                self.sim, paths[0].bottleneck, n_paths=len(paths))
             bg_paths = [paths[0]]
             self._bottlenecks = [topo.bottleneck_fwd]
+            self._bottleneck_links = (topo.bottleneck_fwd,
+                                      topo.bottleneck_rev)
         else:
             topo = IndependentPathsTopology(
-                self.sim, [p.bottleneck for p in paths], trace=trace)
+                self.sim, [p.bottleneck for p in paths])
             bg_paths = list(paths)
             self._bottlenecks = [h.bottleneck_fwd for h in topo.paths]
+            self._bottleneck_links = tuple(
+                link for h in topo.paths
+                for link in (h.bottleneck_fwd, h.bottleneck_rev))
         self.topology = topo
 
         # --- background load ------------------------------------------
@@ -143,7 +150,7 @@ class StreamingSession:
                 capacity=client_buffer_pkts, stream_start=warmup_s)
             window_provider = self.client.window
         else:
-            self.client = StreamClient()
+            self.client = StreamClient(sim=self.sim)
             window_provider = None
         self.connections: List[TcpConnection] = []
         for k, handles in enumerate(topo.paths[:len(paths)], start=1):
@@ -162,7 +169,7 @@ class StreamingSession:
                 self.sim, self.connections, weights=static_weights)
             self.queue = None
         else:
-            self.queue = ServerQueue()
+            self.queue = ServerQueue(sim=self.sim)
             self.streamer = DmpStreamer(
                 self.sim, self.connections, queue=self.queue)
         # The static scheme routes straight from generation events and
@@ -171,6 +178,59 @@ class StreamingSession:
             self.sim, self.queue, mu=mu, duration_s=duration_s,
             start_at=warmup_s)
         self.streamer.attach_source(self.source)
+
+    # --- observability -------------------------------------------------
+    @property
+    def bus(self) -> EventBus:
+        """The simulator's instrumentation bus."""
+        return self.sim.bus
+
+    def attach_packet_trace(
+            self, trace: Optional[PacketTrace] = None) -> PacketTrace:
+        """Record bottleneck-link packet events into a tcpdump-style
+        :class:`PacketTrace`, exactly as the pre-bus code did (access
+        links are excluded so flow estimation sees the same records).
+        """
+        sink = TraceSink(
+            trace=trace,
+            links=[link.name for link in self._bottleneck_links])
+        self.bus.attach(sink)
+        return sink.trace
+
+    def attach_counters(self) -> CountersSink:
+        """Count every probe emission, keyed by topic."""
+        sink = CountersSink()
+        self.bus.attach(sink)
+        return sink
+
+    def attach_timeseries(self,
+                          interval_s: float = 1.0) -> TimeSeriesSampler:
+        """Sample the curves worth plotting (cwnd per video flow,
+        server-queue depth, client buffer, bottleneck occupancy).
+        """
+        sampler = TimeSeriesSampler(self.sim, interval_s=interval_s)
+        for conn in self.connections:
+            sampler.add_series(f"cwnd.{conn.name}",
+                               lambda s=conn.sender: s.cwnd)
+        if self.queue is not None:
+            sampler.add_series("server_queue.depth",
+                               lambda q=self.queue: len(q))
+        if isinstance(self.client, BufferedStreamClient):
+            sampler.add_series("client.buffer",
+                               self.client.early_packets)
+        sampler.add_series("client.received",
+                           lambda c=self.client: c.received)
+        for link in self._bottlenecks:
+            sampler.add_series(f"queue.{link.name}",
+                               lambda q=link.queue: len(q))
+        return sampler
+
+    def attach_jsonl(self, target,
+                     patterns: Sequence[str] = ("*",)) -> JsonlSink:
+        """Stream every matching probe event to ``target`` as JSONL."""
+        sink = JsonlSink(target, patterns=patterns)
+        self.bus.attach(sink)
+        return sink
 
     # ------------------------------------------------------------------
     def run(self, drain_s: float = 60.0) -> SessionResult:

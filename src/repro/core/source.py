@@ -35,6 +35,7 @@ class VideoSource:
         if on_generate is not None:
             self._listeners.append(on_generate)
         self.generated = 0
+        self._p_generate = sim.bus.probe("source.generate")
         sim.at(max(start_at, sim.now), self._generate_next)
 
     def add_listener(self,
@@ -51,6 +52,8 @@ class VideoSource:
             return
         packet = VideoPacket(number=self.generated,
                              generated_at=self.sim.now)
+        if self._p_generate.active:
+            self._p_generate.emit(self.sim.now, packet.number)
         if self.queue is not None:
             self.queue.push(packet)
         self.generated += 1
@@ -78,6 +81,8 @@ class StoredVideoSource(VideoSource):
         while not self.finished:
             packet = VideoPacket(number=self.generated,
                                  generated_at=self.sim.now)
+            if self._p_generate.active:
+                self._p_generate.emit(self.sim.now, packet.number)
             if self.queue is not None:
                 self.queue.push(packet)
             self.generated += 1

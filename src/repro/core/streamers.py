@@ -33,10 +33,16 @@ class DmpStreamer:
         if not connections:
             raise ValueError("need at least one TCP connection")
         self.sim = sim
-        self.queue = queue if queue is not None else ServerQueue()
+        self.queue = queue if queue is not None else ServerQueue(sim=sim)
         self.connections = list(connections)
         self.sent_per_path = [0] * len(self.connections)
         self._rr_offset = 0
+        # Send-space callbacks fire on every ACK that frees buffer room
+        # (the hottest path in the simulator), so the connection ->
+        # index lookup must be O(1), not a list scan.
+        self._conn_index = {id(conn): idx for idx, conn
+                            in enumerate(self.connections)}
+        self._p_assign = sim.bus.probe("streamer.assign")
         for conn in self.connections:
             conn._user_on_send_space = self._on_send_space
 
@@ -61,8 +67,7 @@ class DmpStreamer:
         self._rr_offset = (self._rr_offset + 1) % n
 
     def _on_send_space(self, connection: TcpConnection) -> None:
-        idx = self.connections.index(connection)
-        self._drain_into(idx)
+        self._drain_into(self._conn_index[id(connection)])
 
     def _drain_into(self, idx: int) -> None:
         """Fig. 2 inner loop: lock, fetch until blocked or empty."""
@@ -77,6 +82,9 @@ class DmpStreamer:
                 packet = self.queue.fetch(owner)
                 if packet is None:
                     break
+                if self._p_assign.active:
+                    self._p_assign.emit(self.sim.now, idx,
+                                        packet.number)
                 connection.write(packet)
                 self.sent_per_path[idx] += 1
         finally:
@@ -128,6 +136,9 @@ class StaticStreamer:
         self._credits = [0.0] * k
         self.sent_per_path = [0] * k
         self.assigned_per_path = [0] * k
+        self._conn_index = {id(conn): idx for idx, conn
+                            in enumerate(self.connections)}
+        self._p_assign = sim.bus.probe("streamer.assign")
         for conn in self.connections:
             conn._user_on_send_space = self._on_send_space
 
@@ -146,12 +157,13 @@ class StaticStreamer:
     def _on_generate(self, packet: VideoPacket) -> None:
         idx = self._route()
         self.assigned_per_path[idx] += 1
+        if self._p_assign.active:
+            self._p_assign.emit(self.sim.now, idx, packet.number)
         self._queues[idx].append(packet)
         self._drain(idx)
 
     def _on_send_space(self, connection: TcpConnection) -> None:
-        idx = self.connections.index(connection)
-        self._drain(idx)
+        self._drain(self._conn_index[id(connection)])
 
     def _drain(self, idx: int) -> None:
         connection = self.connections[idx]

@@ -37,7 +37,7 @@ from typing import Optional
 from repro.model.dmp_model import LateFractionEstimate
 
 #: Bump to invalidate every cached record (see module docstring).
-CODE_VERSION = 1
+CODE_VERSION = 2
 
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 ENV_CACHE = "REPRO_CACHE"
@@ -114,7 +114,10 @@ class ResultCache:
         """Cached record for one replication, or None.
 
         A record is only a hit when it covers *every* startup delay the
-        spec asks for (records accumulate taus across invocations).
+        spec asks for (records accumulate taus across invocations) and,
+        when the spec requests probe counters, actually carries them —
+        counter-less records written by plain runs stay usable for
+        plain requests but force a re-run for instrumented ones.
         """
         record = self._read(self.run_key(spec))
         if record is None or "flow_stats" not in record \
@@ -124,11 +127,16 @@ class ResultCache:
         if any(tau_key(tau) not in record["taus"] for tau in spec.taus):
             self.misses += 1
             return None
+        if getattr(spec, "counters", False) \
+                and not isinstance(record.get("counters"), dict):
+            self.misses += 1
+            return None
         self.hits += 1
         return record
 
     def put_run(self, spec, record: dict) -> None:
-        """Store a replication record, merging taus with any prior one."""
+        """Store a replication record, merging taus (and any counters)
+        with a prior record under the same key."""
         key = self.run_key(spec)
         previous = self._read(key)
         if previous is not None and isinstance(previous.get("taus"),
@@ -136,6 +144,9 @@ class ResultCache:
             merged = dict(previous["taus"])
             merged.update(record["taus"])
             record = dict(record, taus=merged)
+            if "counters" not in record \
+                    and isinstance(previous.get("counters"), dict):
+                record["counters"] = previous["counters"]
         self._write(key, record)
 
     # -- model records -------------------------------------------------

@@ -7,6 +7,11 @@ Regenerate any table or figure of the paper without pytest:
     python -m repro.experiments.cli table2 --scale full -o out/
     python -m repro.experiments.cli all
 
+Run one fully instrumented session (the observability bus):
+
+    python -m repro.experiments.cli trace --setting 2-2 --seed 7 \\
+        --duration 60 --trace-out events.jsonl --timeseries curves.csv
+
 Scale profiles (also via $REPRO_SCALE): quick (default), full, paper.
 """
 
@@ -18,9 +23,47 @@ import time
 
 from repro.experiments import cache as result_cache
 from repro.experiments import parallel
+from repro.experiments.configs import ALL_SETTINGS
 from repro.experiments.figures import BUILDERS
 from repro.experiments.report import save_output
 from repro.experiments.runner import scale_profile
+
+
+def _run_trace(args) -> int:
+    """Run one instrumented session and report what the bus saw."""
+    from repro.core.session import StreamingSession
+
+    setting = ALL_SETTINGS[args.setting]
+    session = StreamingSession(
+        mu=setting.mu, duration_s=args.duration,
+        paths=setting.path_configs(), scheme=args.scheme,
+        shared_bottleneck=setting.shared_bottleneck, seed=args.seed)
+    counters = session.attach_counters()
+    jsonl = session.attach_jsonl(args.trace_out) \
+        if args.trace_out else None
+    sampler = session.attach_timeseries() if args.timeseries else None
+
+    started = time.time()
+    result = session.run()
+    elapsed = time.time() - started
+
+    if jsonl is not None:
+        jsonl.close()
+        print(f"[wrote {jsonl.lines_written} events to "
+              f"{args.trace_out}]")
+    if sampler is not None:
+        with open(args.timeseries, "w", encoding="utf-8") as handle:
+            rows = sampler.to_csv(handle)
+        print(f"[wrote {rows} samples to {args.timeseries}]")
+    print(f"setting {setting.name} scheme={args.scheme} "
+          f"seed={args.seed} duration={args.duration:g}s "
+          f"({elapsed:.1f}s wall)")
+    print(f"delivered {len(result.arrivals)} "
+          f"of {result.total_packets} packets; "
+          f"path shares {[round(s, 3) for s in result.path_shares]}")
+    print("probe event counts:")
+    print(counters.summary())
+    return 0
 
 
 def main(argv=None) -> int:
@@ -30,8 +73,9 @@ def main(argv=None) -> int:
         description="Regenerate the paper's tables and figures.")
     parser.add_argument(
         "target",
-        choices=sorted(BUILDERS) + ["all", "list"],
-        help="which artefact to regenerate")
+        choices=sorted(BUILDERS) + ["all", "list", "trace"],
+        help="which artefact to regenerate ('trace' runs one "
+             "instrumented session instead)")
     parser.add_argument(
         "--scale", choices=["quick", "full", "paper"], default=None,
         help="scale profile (default: $REPRO_SCALE or quick)")
@@ -49,12 +93,34 @@ def main(argv=None) -> int:
         "--cache-dir", default=None, metavar="DIR",
         help="result-cache directory (default: $REPRO_CACHE_DIR or "
              "~/.cache/repro)")
+    group = parser.add_argument_group("trace target")
+    group.add_argument(
+        "--setting", choices=sorted(ALL_SETTINGS), default="2-2",
+        help="validation setting to run (default: 2-2)")
+    group.add_argument(
+        "--scheme", choices=["dmp", "static"], default="dmp",
+        help="streaming scheme (default: dmp)")
+    group.add_argument(
+        "--seed", type=int, default=1,
+        help="simulation seed (default: 1)")
+    group.add_argument(
+        "--duration", type=float, default=30.0, metavar="S",
+        help="video duration in simulated seconds (default: 30)")
+    group.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="stream every probe event to FILE as JSON lines")
+    group.add_argument(
+        "--timeseries", default=None, metavar="FILE",
+        help="sample cwnd/queue/buffer curves to FILE as CSV")
     args = parser.parse_args(argv)
 
     if args.target == "list":
-        for name in sorted(BUILDERS):
+        for name in sorted(BUILDERS) + ["trace"]:
             print(name)
         return 0
+
+    if args.target == "trace":
+        return _run_trace(args)
 
     if args.workers is not None and args.workers < 1:
         parser.error("--workers must be >= 1")

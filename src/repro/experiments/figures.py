@@ -117,12 +117,11 @@ def _video_loss_correlation(setting, profile, seed: int) -> float:
     from repro.experiments.measure import loss_correlation
     from repro.sim.trace import PacketTrace
 
-    trace = PacketTrace(events={"drop"})
     session = StreamingSession(
         mu=setting.mu, duration_s=profile.duration_s,
         paths=setting.path_configs(),
-        shared_bottleneck=setting.shared_bottleneck, seed=seed,
-        trace=trace)
+        shared_bottleneck=setting.shared_bottleneck, seed=seed)
+    trace = session.attach_packet_trace(PacketTrace(events={"drop"}))
     session.run()
     flows = []
     for conn in session.connections:

@@ -51,6 +51,7 @@ class RunSpec:
     seed: int
     send_buffer_pkts: int
     taus: Tuple[float, ...]
+    counters: bool = False
 
 
 @dataclass(frozen=True)
@@ -76,13 +77,17 @@ def simulate_run(spec: RunSpec) -> dict:
         paths=spec.setting.path_configs(), scheme=spec.scheme,
         shared_bottleneck=spec.setting.shared_bottleneck,
         seed=spec.seed, send_buffer_pkts=spec.send_buffer_pkts)
+    counters = session.attach_counters() if spec.counters else None
     result = session.run()
     taus = {}
     for tau in spec.taus:
         metrics = result.metrics(tau)
         taus[tau_key(tau)] = [metrics.late_fraction,
                               metrics.arrival_order_late_fraction]
-    return {"flow_stats": result.flow_stats, "taus": taus}
+    record = {"flow_stats": result.flow_stats, "taus": taus}
+    if counters is not None:
+        record["counters"] = counters.as_dict()
+    return record
 
 
 def solve_model(task: ModelTask) -> LateFractionEstimate:

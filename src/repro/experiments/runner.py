@@ -115,6 +115,7 @@ class ReplicatedRun:
     measured: List[dict]
     points: List[TauPoint]
     per_run_late: Dict[float, List[float]] = field(default_factory=dict)
+    per_run_counters: List[dict] = field(default_factory=list)
 
     def point(self, tau: float) -> TauPoint:
         for pt in self.points:
@@ -178,6 +179,7 @@ def run_setting(setting: Setting,
                 run_model: bool = True,
                 max_workers: Optional[int] = None,
                 cache=None,
+                counters: bool = False,
                 executor: Optional[ReplicationExecutor] = None) \
         -> ReplicatedRun:
     """Run one validation setting: N simulations + the model.
@@ -205,7 +207,7 @@ def run_setting(setting: Setting,
     specs = [RunSpec(setting=setting, duration_s=profile.duration_s,
                      scheme=scheme, seed=seed0 + run,
                      send_buffer_pkts=send_buffer_pkts,
-                     taus=tuple(taus))
+                     taus=tuple(taus), counters=counters)
              for run in range(profile.runs)]
     records: List[Optional[dict]] = [
         cache.get_run(spec) if cache else None for spec in specs]
@@ -277,4 +279,6 @@ def run_setting(setting: Setting,
     return ReplicatedRun(
         setting=setting, profile=profile, scheme=scheme,
         flow_params=flow_params, measured=measured, points=points,
-        per_run_late=per_tau)
+        per_run_late=per_tau,
+        per_run_counters=[rec.get("counters", {}) for rec in records]
+        if counters else [])

@@ -28,7 +28,7 @@ Example scenario::
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict
 
 from repro.core.session import PathConfig, StreamingSession
 from repro.sim.topology import BottleneckSpec

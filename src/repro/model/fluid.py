@@ -20,7 +20,7 @@ fraction of playback that happens while ``A < B``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

@@ -1,0 +1,29 @@
+"""Simulator-wide observability: instrumentation bus, sinks, sampler.
+
+See ``docs/observability.md`` for the probe-point catalogue, sink
+descriptions and the JSONL schema.
+"""
+
+from repro.obs.bus import SCHEMA, EventBus, Probe
+from repro.obs.sampler import TimeSeriesSampler
+from repro.obs.sinks import (
+    CountersSink,
+    JsonlSink,
+    RecordingSink,
+    TraceSink,
+    iter_jsonl,
+    validate_jsonl,
+)
+
+__all__ = [
+    "SCHEMA",
+    "EventBus",
+    "Probe",
+    "TraceSink",
+    "CountersSink",
+    "RecordingSink",
+    "JsonlSink",
+    "TimeSeriesSampler",
+    "iter_jsonl",
+    "validate_jsonl",
+]

@@ -1,0 +1,59 @@
+"""Periodic time-series sampling of simulator state.
+
+Unlike bus sinks (which observe *events*), the sampler polls *levels* —
+cwnd, queue depth, client-buffer occupancy — at a fixed simulated-time
+interval, producing the curves behind the paper's Fig.-2-style plots
+(cwnd evolution, buffer level over time).
+"""
+
+from __future__ import annotations
+
+from typing import IO, Callable, Dict, List, Optional, Tuple
+
+
+class TimeSeriesSampler:
+    """Sample named quantities every ``interval_s`` of simulated time.
+
+    Each series is a callable returning a number; samples are recorded
+    as ``(time, value)``.  ``until`` bounds the sampling horizon so the
+    sampler does not keep an otherwise-finished simulation alive.
+    """
+
+    def __init__(self, sim, interval_s: float = 1.0,
+                 start_at: float = 0.0,
+                 until: Optional[float] = None):
+        if interval_s <= 0:
+            raise ValueError("sampling interval must be positive")
+        self.sim = sim
+        self.interval_s = interval_s
+        self.until = until
+        self.series: Dict[str, List[Tuple[float, float]]] = {}
+        self._fns: Dict[str, Callable[[], float]] = {}
+        self.samples_taken = 0
+        sim.at(max(start_at, sim.now), self._sample)
+
+    def add_series(self, name: str, fn: Callable[[], float]) -> None:
+        """Register a quantity to poll (replaces an existing name)."""
+        if name not in self._fns:
+            self.series[name] = []
+        self._fns[name] = fn
+
+    def _sample(self) -> None:
+        now = self.sim.now
+        if self.until is not None and now > self.until:
+            return
+        for name, fn in self._fns.items():
+            self.series[name].append((now, float(fn())))
+        self.samples_taken += 1
+        self.sim.schedule(self.interval_s, self._sample)
+
+    # ------------------------------------------------------------------
+    def to_csv(self, handle: IO) -> int:
+        """Write ``series,t,value`` rows; returns the row count."""
+        handle.write("series,t,value\n")
+        rows = 0
+        for name in sorted(self.series):
+            for time, value in self.series[name]:
+                handle.write(f"{name},{time:.6f},{value:g}\n")
+                rows += 1
+        return rows

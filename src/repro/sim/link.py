@@ -10,7 +10,6 @@ from repro.sim.queueing import DropTailQueue
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.node import Node
-    from repro.sim.trace import PacketTrace
 
 
 class Link:
@@ -20,13 +19,18 @@ class Link:
     serialises buffered packets one at a time at ``bandwidth_bps`` and
     each transmitted packet is delivered to the downstream node after
     ``delay_s`` of propagation.  Losses happen only by buffer overflow.
+
+    Per-packet observability goes through the simulator's
+    instrumentation bus (topics ``link.enqueue`` / ``link.send`` /
+    ``link.recv`` / ``link.drop``); subscribe a
+    :class:`repro.obs.TraceSink` to capture a tcpdump-style
+    :class:`~repro.sim.trace.PacketTrace`.
     """
 
     def __init__(self, sim: Simulator, src: "Node", dst: "Node",
                  bandwidth_bps: float, delay_s: float,
                  queue_limit_pkts: int = 50,
                  queue: Optional[DropTailQueue] = None,
-                 trace: Optional["PacketTrace"] = None,
                  name: Optional[str] = None):
         if bandwidth_bps <= 0:
             raise ValueError("bandwidth must be positive")
@@ -39,22 +43,28 @@ class Link:
         self.delay_s = delay_s
         self.queue = queue if queue is not None \
             else DropTailQueue(queue_limit_pkts)
-        self.trace = trace
         self.name = name or f"{src.name}->{dst.name}"
         self._busy = False
         self.tx_packets = 0
         self.tx_bytes = 0
+        bus = sim.bus
+        self._p_enqueue = bus.probe("link.enqueue")
+        self._p_drop = bus.probe("link.drop")
+        self._p_send = bus.probe("link.send")
+        self._p_recv = bus.probe("link.recv")
         src.register_link(self)
 
     # ------------------------------------------------------------------
     def enqueue(self, packet: Packet) -> None:
         """Offer a packet to the link buffer (drop-tail on overflow)."""
         if not self.queue.offer(packet):
-            if self.trace is not None:
-                self.trace.record(self.sim.now, "drop", self.name, packet)
+            if self._p_drop.active:
+                self._p_drop.emit(self.sim.now, self.name, packet,
+                                  len(self.queue))
             return
-        if self.trace is not None:
-            self.trace.record(self.sim.now, "enqueue", self.name, packet)
+        if self._p_enqueue.active:
+            self._p_enqueue.emit(self.sim.now, self.name, packet,
+                                 len(self.queue))
         if not self._busy:
             self._transmit_next()
 
@@ -70,15 +80,15 @@ class Link:
     def _tx_done(self, packet: Packet) -> None:
         self.tx_packets += 1
         self.tx_bytes += packet.size
-        if self.trace is not None:
-            self.trace.record(self.sim.now, "send", self.name, packet)
+        if self._p_send.active:
+            self._p_send.emit(self.sim.now, self.name, packet)
         self.sim.schedule(self.delay_s, self._deliver, packet)
         self._transmit_next()
 
     def _deliver(self, packet: Packet) -> None:
         packet.hops += 1
-        if self.trace is not None:
-            self.trace.record(self.sim.now, "recv", self.name, packet)
+        if self._p_recv.active:
+            self._p_recv.emit(self.sim.now, self.name, packet)
         self.dst.receive(packet)
 
     # ------------------------------------------------------------------
@@ -98,17 +108,14 @@ class Link:
 
 def duplex_link(sim: Simulator, a: "Node", b: "Node",
                 bandwidth_bps: float, delay_s: float,
-                queue_limit_pkts: int = 50,
-                trace: Optional["PacketTrace"] = None) -> tuple:
+                queue_limit_pkts: int = 50) -> tuple:
     """Create a pair of symmetric links ``a -> b`` and ``b -> a``.
 
     Routes for the two endpoints are installed automatically; transit
     routes (for multi-hop paths) must be added by the topology builder.
     """
-    forward = Link(sim, a, b, bandwidth_bps, delay_s, queue_limit_pkts,
-                   trace=trace)
-    backward = Link(sim, b, a, bandwidth_bps, delay_s, queue_limit_pkts,
-                    trace=trace)
+    forward = Link(sim, a, b, bandwidth_bps, delay_s, queue_limit_pkts)
+    backward = Link(sim, b, a, bandwidth_bps, delay_s, queue_limit_pkts)
     a.add_route(b.name, forward)
     b.add_route(a.name, backward)
     return forward, backward

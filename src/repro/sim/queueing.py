@@ -28,14 +28,20 @@ class DropTailQueue:
         self._queue: deque = deque()
         self.drops = 0
         self.enqueued = 0
+        self.max_occupancy = 0
 
     def offer(self, packet: Packet) -> bool:
         """Try to enqueue; returns False (and counts a drop) if full."""
         if len(self._queue) >= self.capacity:
             self.drops += 1
             return False
+        return self._admit(packet)
+
+    def _admit(self, packet: Packet) -> bool:
         self._queue.append(packet)
         self.enqueued += 1
+        if len(self._queue) > self.max_occupancy:
+            self.max_occupancy = len(self._queue)
         return True
 
     def pop(self) -> Optional[Packet]:
@@ -93,6 +99,4 @@ class REDQueue(DropTailQueue):
         if drop_p > 0.0 and self._rng.random() < drop_p:
             self.drops += 1
             return False
-        self._queue.append(packet)
-        self.enqueued += 1
-        return True
+        return self._admit(packet)

@@ -15,13 +15,12 @@ path; agents may bind to several interfaces at once.  Access links are
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List
 
 from repro.sim.engine import Simulator
 from repro.sim.link import Link, duplex_link
 from repro.sim.node import Node
-from repro.sim.trace import PacketTrace
 
 ACCESS_BANDWIDTH_BPS = 100e6
 ACCESS_DELAY_S = 0.010
@@ -54,12 +53,10 @@ class PathHandles:
 class IndependentPathsTopology:
     """The Fig. 3 topology with K independent bottleneck paths."""
 
-    def __init__(self, sim: Simulator, specs: List[BottleneckSpec],
-                 trace: Optional[PacketTrace] = None):
+    def __init__(self, sim: Simulator, specs: List[BottleneckSpec]):
         if not specs:
             raise ValueError("need at least one path spec")
         self.sim = sim
-        self.trace = trace
         self.server = Node(sim, "server")
         self.paths: List[PathHandles] = []
         for k, spec in enumerate(specs, start=1):
@@ -83,11 +80,11 @@ class IndependentPathsTopology:
         duplex_link(sim, r_out, bg_sink, ACCESS_BANDWIDTH_BPS,
                     ACCESS_DELAY_S, queue_limit_pkts=1000)
 
-        # The bottleneck itself, traced if requested.
+        # The bottleneck itself (observable via the link.* probes).
         fwd = Link(sim, r_in, r_out, spec.bandwidth_bps, spec.delay_s,
-                   spec.buffer_pkts, trace=self.trace)
+                   spec.buffer_pkts)
         rev = Link(sim, r_out, r_in, spec.bandwidth_bps, spec.delay_s,
-                   spec.buffer_pkts, trace=self.trace)
+                   spec.buffer_pkts)
         r_in.add_route(r_out.name, fwd)
         r_out.add_route(r_in.name, rev)
 
@@ -115,10 +112,8 @@ class SharedBottleneckTopology:
     """The Fig. 6 topology: every flow crosses the same bottleneck."""
 
     def __init__(self, sim: Simulator, spec: BottleneckSpec,
-                 trace: Optional[PacketTrace] = None,
                  n_paths: int = 2):
         self.sim = sim
-        self.trace = trace
         self.server = Node(sim, "server")
         self.client = Node(sim, "client")
         r1 = Node(sim, "r1")
@@ -136,9 +131,9 @@ class SharedBottleneckTopology:
                     ACCESS_DELAY_S, queue_limit_pkts=1000)
 
         fwd = Link(sim, r1, r2, spec.bandwidth_bps, spec.delay_s,
-                   spec.buffer_pkts, trace=trace)
+                   spec.buffer_pkts)
         rev = Link(sim, r2, r1, spec.bandwidth_bps, spec.delay_s,
-                   spec.buffer_pkts, trace=trace)
+                   spec.buffer_pkts)
         r1.add_route(r2.name, fwd)
         r2.add_route(r1.name, rev)
 

@@ -47,7 +47,8 @@ class RenoSender:
                  min_rto: float = 0.2,
                  on_send_space: Optional[Callable[["RenoSender"], None]]
                  = None,
-                 port: Optional[int] = None):
+                 port: Optional[int] = None,
+                 name: Optional[str] = None):
         self.sim = sim
         self.node = node
         self.dst_name = dst_name
@@ -56,6 +57,16 @@ class RenoSender:
         self.send_buffer_pkts = send_buffer_pkts
         self.on_send_space = on_send_space
         self.port = node.bind(self, port)
+        self.name = name or f"{node.name}:{self.port}"
+
+        # Instrumentation probe points (zero-cost unless subscribed).
+        bus = sim.bus
+        self._p_cwnd = bus.probe("tcp.cwnd")
+        self._p_timeout = bus.probe("tcp.timeout")
+        self._p_fast_rtx = bus.probe("tcp.fast_retransmit")
+        self._p_rtx = bus.probe("tcp.retransmit")
+        self._p_rtt = bus.probe("tcp.rtt_sample")
+        self._p_sndbuf = bus.probe("tcp.send_buffer")
 
         # Congestion state.
         self.cwnd = float(init_cwnd)
@@ -109,6 +120,9 @@ class RenoSender:
         if not self.can_write():
             return False
         self._buffer.append(payload)
+        if self._p_sndbuf.active:
+            self._p_sndbuf.emit(self.sim.now, self.name,
+                                len(self._buffer))
         self._try_send()
         return True
 
@@ -167,6 +181,8 @@ class RenoSender:
         self.segments_sent += 1
         if retransmit:
             self.retransmits += 1
+            if self._p_rtx.active:
+                self._p_rtx.emit(self.sim.now, self.name, seq)
         elif self._timed_seq is None:
             # Karn's rule: time only segments sent exactly once.
             self._timed_seq = seq
@@ -194,8 +210,11 @@ class RenoSender:
         # RTT sampling (Karn's rule: sample only if never retransmitted
         # since the timing started; timeouts clear _timed_seq).
         if self._timed_seq is not None and ack > self._timed_seq:
-            self.estimator.observe(self.sim.now - self._timed_at)
+            sample = self.sim.now - self._timed_at
+            self.estimator.observe(sample)
             self._timed_seq = None
+            if self._p_rtt.active:
+                self._p_rtt.emit(self.sim.now, self.name, sample)
         self.backoff_exp = 0
 
         for _ in range(min(acked, len(self._buffer))):
@@ -203,6 +222,9 @@ class RenoSender:
         self.snd_una = ack
         if self.snd_nxt < self.snd_una:
             self.snd_nxt = self.snd_una
+        if self._p_sndbuf.active:
+            self._p_sndbuf.emit(self.sim.now, self.name,
+                                len(self._buffer))
 
         if self.in_fast_recovery:
             self._new_ack_in_recovery(ack, acked)
@@ -213,6 +235,7 @@ class RenoSender:
             else:
                 self.cwnd = min(self.cwnd + 1.0 / self.cwnd,
                                 self.max_cwnd)
+        self._emit_cwnd()
 
         if self.outstanding > 0:
             self._arm_rto(restart=True)
@@ -234,6 +257,7 @@ class RenoSender:
         if self.in_fast_recovery:
             # Window inflation for every additional duplicate ACK.
             self.cwnd = min(self.cwnd + 1.0, self.max_cwnd)
+            self._emit_cwnd()
             self._try_send()
             return
         if self.dup_acks == 3:
@@ -243,8 +267,17 @@ class RenoSender:
             self.in_fast_recovery = True
             self.recover = self.snd_nxt
             self._timed_seq = None
+            if self._p_fast_rtx.active:
+                self._p_fast_rtx.emit(self.sim.now, self.name,
+                                      self.snd_una)
+            self._emit_cwnd()
             self._transmit(self.snd_una, retransmit=True)
             self._arm_rto(restart=True)
+
+    def _emit_cwnd(self) -> None:
+        if self._p_cwnd.active:
+            self._p_cwnd.emit(self.sim.now, self.name, self.cwnd,
+                              self.ssthresh)
 
     # ------------------------------------------------------------------
     # Retransmission timer
@@ -270,13 +303,18 @@ class RenoSender:
         if self.outstanding == 0:
             return
         self.timeouts += 1
-        self.rto_history.append((self.sim.now, self._current_rto()))
+        expired_rto = self._current_rto()
+        self.rto_history.append((self.sim.now, expired_rto))
         self.ssthresh = max(self.cwnd / 2.0, 2.0)
         self.cwnd = 1.0
         self.dup_acks = 0
         self.in_fast_recovery = False
         self.backoff_exp = min(self.backoff_exp + 1, 6)
         self._timed_seq = None
+        if self._p_timeout.active:
+            self._p_timeout.emit(self.sim.now, self.name, expired_rto,
+                                 self.backoff_exp)
+        self._emit_cwnd()
         # Go-back-N: rewind and retransmit the first unacked segment.
         self.snd_nxt = self.snd_una + 1
         self._transmit(self.snd_una, retransmit=True)

@@ -59,6 +59,7 @@ class SackSender(RenoSender):
         self.dup_acks += 1
         if self.in_fast_recovery:
             self.cwnd = min(self.cwnd + 1.0, self.max_cwnd)
+            self._emit_cwnd()
             if not self._retransmit_next_hole():
                 self._try_send()
             return
@@ -70,6 +71,10 @@ class SackSender(RenoSender):
             self.recover = self.snd_nxt
             self._timed_seq = None
             self._rtx_done = set()
+            if self._p_fast_rtx.active:
+                self._p_fast_rtx.emit(self.sim.now, self.name,
+                                      self.snd_una)
+            self._emit_cwnd()
             if not self._retransmit_next_hole():
                 self._transmit(self.snd_una, retransmit=True)
                 self._rtx_done.add(self.snd_una)

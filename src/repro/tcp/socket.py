@@ -57,7 +57,7 @@ class TcpConnection:
             sim, src_node, dst_name=dst_node.name,
             dst_port=self.receiver.port, segment_bytes=segment_bytes,
             send_buffer_pkts=send_buffer_pkts, min_rto=min_rto,
-            on_send_space=self._notify_space)
+            on_send_space=self._notify_space, name=self.name)
 
     def _notify_space(self, _sender: RenoSender) -> None:
         if self._user_on_send_space is not None:

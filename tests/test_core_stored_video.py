@@ -1,7 +1,5 @@
 """Tests for the stored-video extension."""
 
-import pytest
-
 from repro.core.client import StreamClient
 from repro.core.metrics import late_fraction
 from repro.core.server_queue import ServerQueue

@@ -16,12 +16,12 @@ from functools import lru_cache
 
 @lru_cache(maxsize=4)
 def traced_session(seed=3):
-    trace = PacketTrace()
     spec = BottleneckSpec(bandwidth_bps=8e5, delay_s=0.01,
                           buffer_pkts=15)
     paths = [PathConfig(bottleneck=spec, n_ftp=2, n_http=3)] * 2
     session = StreamingSession(mu=40, duration_s=120, paths=paths,
-                               seed=seed, trace=trace)
+                               seed=seed)
+    trace = session.attach_packet_trace()
     result = session.run()
     return session, result, trace
 

@@ -58,13 +58,13 @@ def test_shared_bottleneck_video_flows_weakly_correlated():
     bottleneck are only weakly correlated."""
     from repro import BottleneckSpec, PathConfig, StreamingSession
 
-    trace = PacketTrace(events={"drop", "recv"})
     spec = BottleneckSpec(bandwidth_bps=1.2e6, delay_s=0.01,
                           buffer_pkts=25)
     paths = [PathConfig(bottleneck=spec, n_ftp=2, n_http=5)] * 2
     session = StreamingSession(mu=50, duration_s=150, paths=paths,
-                               shared_bottleneck=True, seed=9,
-                               trace=trace)
+                               shared_bottleneck=True, seed=9)
+    trace = session.attach_packet_trace(
+        PacketTrace(events={"drop", "recv"}))
     session.run()
     flows = []
     for conn in session.connections:

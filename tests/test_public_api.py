@@ -1,7 +1,5 @@
 """API-surface tests: the documented entry points exist and compose."""
 
-import pytest
-
 
 def test_top_level_exports():
     import repro

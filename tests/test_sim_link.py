@@ -17,10 +17,10 @@ class Sink:
         self.received.append(packet)
 
 
-def build(sim, bandwidth=8000.0, delay=0.1, limit=10, trace=None):
+def build(sim, bandwidth=8000.0, delay=0.1, limit=10):
     a = Node(sim, "a")
     b = Node(sim, "b")
-    link = Link(sim, a, b, bandwidth, delay, limit, trace=trace)
+    link = Link(sim, a, b, bandwidth, delay, limit)
     a.add_route("b", link)
     sink = Sink()
     b.bind(sink, port=5)
@@ -86,9 +86,12 @@ def test_no_loss_within_capacity():
 
 
 def test_trace_records_events():
+    from repro.obs import TraceSink
+
     sim = Simulator()
     trace = PacketTrace()
-    a, b, link, sink = build(sim, limit=1, trace=trace)
+    sim.bus.attach(TraceSink(trace))
+    a, b, link, sink = build(sim, limit=1)
     a.send(packet(seq=0))
     a.send(packet(seq=1))
     a.send(packet(seq=2))  # dropped: one in service + one queued

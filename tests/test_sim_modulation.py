@@ -3,7 +3,7 @@
 import pytest
 
 from repro.sim.engine import Simulator
-from repro.sim.link import Link, duplex_link
+from repro.sim.link import Link
 from repro.sim.modulation import (
     OFF_BANDWIDTH_BPS,
     OnOffLinkModulator,

@@ -2,8 +2,6 @@
 
 from collections import deque
 
-import pytest
-
 from repro.sim.engine import Simulator
 from repro.sim.node import Node
 from repro.sim.link import duplex_link

@@ -1,7 +1,5 @@
 """Tests for the SACK variant."""
 
-import pytest
-
 from repro.sim.engine import Simulator
 from repro.sim.node import Node
 from repro.tcp.receiver import TcpReceiver
