@@ -1,0 +1,1 @@
+"""Perf-regression microbenchmarks (see benchmarks/perf/run.py)."""

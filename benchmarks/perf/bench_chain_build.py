@@ -1,0 +1,50 @@
+"""Chain-construction microbenchmark.
+
+Times building one ``TcpFlowChain`` (the per-flow CTMC: state
+enumeration plus outcome distributions) and compiling a two-flow
+``DmpModel`` into the vectorized kernel's padded arrays.  Both are
+one-off costs per model solve, but sweeps build hundreds of chains, so
+their trajectory is worth pinning.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.model.dmp_model import DmpModel
+from repro.model.mc_kernel import CompiledModel
+from repro.model.tcp_chain import FlowParams, TcpFlowChain
+
+PARAMS = FlowParams(p=0.02, rtt=0.2, to_ratio=4.0)
+
+MODES = {
+    "quick": {"repeats": 3},
+    "full": {"repeats": 10},
+}
+
+
+def _best(repeats: int, fn) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def run(mode: str) -> dict:
+    repeats = MODES[mode]["repeats"]
+    build_s = _best(repeats, lambda: TcpFlowChain(PARAMS))
+    chain = TcpFlowChain(PARAMS)
+    compile_s = _best(repeats,
+                      lambda: CompiledModel([chain, chain]))
+    model = DmpModel([chain, chain], mu=25.0, tau=4.0)
+    return {
+        "config": {"p": PARAMS.p, "rtt": PARAMS.rtt,
+                   "to_ratio": PARAMS.to_ratio, "wmax": PARAMS.wmax,
+                   "repeats": repeats},
+        "chain_states": len(chain),
+        "model_states": len(model.chains[0]) + len(model.chains[1]),
+        "chain_build_seconds": build_s,
+        "compile_seconds": compile_s,
+    }

@@ -1,0 +1,75 @@
+"""MC-kernel microbenchmark: legacy vs vectorized on the Fig 8 grid.
+
+Each grid point solves the same stationary late-fraction problem with
+both kernels at the same horizon (hence comparable standard errors, as
+the replicas partition the same measured model time the legacy batches
+do) and records wall-clock times, estimates and stderrs.  The headline
+number is the aggregate speedup: total legacy seconds over total
+vectorized seconds across the point set.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments.sweep import rtt_for_ratio
+from repro.model.dmp_model import DmpModel
+from repro.model.tcp_chain import FlowParams
+
+P = 0.02
+TO_RATIO = 4.0
+MU = 25.0
+SEED = 8
+
+MODES = {
+    "quick": {
+        "ratios": (1.2, 1.6),
+        "taus": (4.0, 10.0),
+        "horizon_s": 4000.0,
+    },
+    "full": {
+        "ratios": (1.2, 1.4, 1.6, 1.8, 2.0),
+        "taus": (4.0, 10.0, 20.0),
+        "horizon_s": 20000.0,
+    },
+}
+
+
+def _solve(model: DmpModel, horizon_s: float, kernel: str):
+    started = time.perf_counter()
+    estimate = model.late_fraction_mc(horizon_s=horizon_s, seed=SEED,
+                                      mc_kernel=kernel)
+    return time.perf_counter() - started, estimate
+
+
+def run(mode: str) -> dict:
+    spec = MODES[mode]
+    horizon_s = spec["horizon_s"]
+    points = []
+    totals = {"legacy": 0.0, "vectorized": 0.0}
+    for ratio in spec["ratios"]:
+        rtt = rtt_for_ratio(P, TO_RATIO, MU, ratio)
+        params = FlowParams(p=P, rtt=rtt, to_ratio=TO_RATIO)
+        for tau in spec["taus"]:
+            model = DmpModel([params, params], mu=MU, tau=tau)
+            point = {"ratio": ratio, "tau": tau}
+            for kernel in ("legacy", "vectorized"):
+                elapsed, est = _solve(model, horizon_s, kernel)
+                totals[kernel] += elapsed
+                point[kernel] = {
+                    "seconds": elapsed,
+                    "late_fraction": est.late_fraction,
+                    "stderr": est.stderr,
+                }
+            point["speedup"] = (point["legacy"]["seconds"]
+                                / point["vectorized"]["seconds"])
+            points.append(point)
+    return {
+        "config": {"p": P, "to_ratio": TO_RATIO, "mu": MU,
+                   "seed": SEED, "horizon_s": horizon_s,
+                   "ratios": list(spec["ratios"]),
+                   "taus": list(spec["taus"])},
+        "points": points,
+        "total_seconds": totals,
+        "speedup": totals["legacy"] / totals["vectorized"],
+    }

@@ -1,0 +1,136 @@
+"""Perf-regression harness: run the microbenchmarks, write BENCH_perf.json.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python benchmarks/perf/run.py              # quick
+    PYTHONPATH=src python benchmarks/perf/run.py --mode full
+    PYTHONPATH=src python benchmarks/perf/run.py -o /tmp/b.json
+
+Three microbenchmarks are timed:
+
+* ``mc_kernel``   — legacy vs vectorized stationary MC solves on the
+  Fig 8 ratio-sweep grid; the headline is the aggregate speedup.
+* ``packet_sim``  — discrete-event engine step rate on one streaming
+  session of the 2-2 validation setting.
+* ``chain_build`` — TcpFlowChain construction and vectorized-table
+  compilation time.
+
+The output JSON (default: ``BENCH_perf.json`` at the repository root)
+carries machine and library-version metadata so numbers from different
+machines are never compared as if they were one trajectory.  The
+harness exits non-zero only on import or runtime errors — timing
+thresholds are a review-time judgement, not a gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))
+SRC = os.path.join(REPO_ROOT, "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+
+def _cpu_model() -> str:
+    try:
+        with open("/proc/cpuinfo", "r", encoding="utf-8") as handle:
+            for line in handle:
+                if line.lower().startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or platform.machine()
+
+
+def machine_metadata() -> dict:
+    import numpy
+    import scipy
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_model": _cpu_model(),
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "scipy": scipy.__version__,
+    }
+
+
+def run_benchmarks(mode: str) -> dict:
+    from benchmarks.perf import (
+        bench_chain_build,
+        bench_mc_kernel,
+        bench_packet_sim,
+    )
+    return {
+        "mc_kernel": bench_mc_kernel.run(mode),
+        "packet_sim": bench_packet_sim.run(mode),
+        "chain_build": bench_chain_build.run(mode),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/perf/run.py",
+        description="Run the perf microbenchmarks and write "
+                    "BENCH_perf.json.")
+    parser.add_argument("--mode", choices=["quick", "full"],
+                        default="quick",
+                        help="grid size / horizons (default: quick)")
+    parser.add_argument("-o", "--output",
+                        default=os.path.join(REPO_ROOT,
+                                             "BENCH_perf.json"),
+                        help="output path (default: BENCH_perf.json "
+                             "at the repo root)")
+    args = parser.parse_args(argv)
+
+    if REPO_ROOT not in sys.path:
+        sys.path.insert(0, REPO_ROOT)
+    results = run_benchmarks(args.mode)
+
+    payload = {
+        "schema": 1,
+        "mode": args.mode,
+        "created_utc": datetime.datetime.now(
+            datetime.timezone.utc).isoformat(timespec="seconds"),
+        "machine": machine_metadata(),
+        "benchmarks": results,
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+    mc = results["mc_kernel"]
+    sim = results["packet_sim"]
+    build = results["chain_build"]
+    print(f"[mc_kernel] {len(mc['points'])} grid points: "
+          f"legacy {mc['total_seconds']['legacy']:.2f}s, "
+          f"vectorized {mc['total_seconds']['vectorized']:.2f}s "
+          f"-> {mc['speedup']:.1f}x")
+    for point in mc["points"]:
+        leg, vec = point["legacy"], point["vectorized"]
+        print(f"  ratio={point['ratio']:<4g} tau={point['tau']:<4g} "
+              f"legacy {leg['late_fraction']:.3e}±{leg['stderr']:.1e} "
+              f"({leg['seconds']:.2f}s)  "
+              f"vec {vec['late_fraction']:.3e}±{vec['stderr']:.1e} "
+              f"({vec['seconds']:.2f}s)  {point['speedup']:.1f}x")
+    print(f"[packet_sim] {sim['events']} events in "
+          f"{sim['seconds']:.2f}s -> "
+          f"{sim['events_per_second']:,.0f} events/s")
+    print(f"[chain_build] {build['chain_states']}-state chain in "
+          f"{build['chain_build_seconds'] * 1e3:.1f}ms, "
+          f"2-flow compile in "
+          f"{build['compile_seconds'] * 1e3:.2f}ms")
+    print(f"[wrote {args.output}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

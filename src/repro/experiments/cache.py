@@ -35,9 +35,12 @@ from dataclasses import asdict
 from typing import Optional
 
 from repro.model.dmp_model import LateFractionEstimate
+from repro.model.mc_kernel import resolve_kernel
 
 #: Bump to invalidate every cached record (see module docstring).
-CODE_VERSION = 2
+#: v3: vectorized MC kernel; model keys are tagged by kernel so
+#: vectorized and legacy estimates never mix under one record.
+CODE_VERSION = 3
 
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 ENV_CACHE = "REPRO_CACHE"
@@ -104,6 +107,10 @@ class ResultCache:
             "tau": task.tau,
             "horizon_s": task.horizon_s,
             "seed": task.seed,
+            # Tagging by resolved kernel keeps vectorized and legacy
+            # estimates under distinct records.
+            "mc_kernel": resolve_kernel(
+                getattr(task, "mc_kernel", None)),
         }
 
     def model_key(self, task) -> str:
@@ -161,7 +168,8 @@ class ResultCache:
                 stderr=float(record["stderr"]),
                 horizon_s=float(record["horizon_s"]),
                 method=str(record["method"]),
-                path_shares=tuple(record.get("path_shares", ())))
+                path_shares=tuple(record.get("path_shares", ())),
+                kernel=str(record["kernel"]))
         except (KeyError, TypeError, ValueError):
             self.misses += 1
             return None
@@ -175,6 +183,7 @@ class ResultCache:
             "horizon_s": estimate.horizon_s,
             "method": estimate.method,
             "path_shares": list(estimate.path_shares),
+            "kernel": estimate.kernel,
         })
 
     # -- storage -------------------------------------------------------

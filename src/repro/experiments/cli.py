@@ -27,6 +27,7 @@ from repro.experiments.configs import ALL_SETTINGS
 from repro.experiments.figures import BUILDERS
 from repro.experiments.report import save_output
 from repro.experiments.runner import scale_profile
+from repro.model import mc_kernel
 
 
 def _run_trace(args) -> int:
@@ -93,6 +94,10 @@ def main(argv=None) -> int:
         "--cache-dir", default=None, metavar="DIR",
         help="result-cache directory (default: $REPRO_CACHE_DIR or "
              "~/.cache/repro)")
+    parser.add_argument(
+        "--mc-kernel", choices=list(mc_kernel.KERNELS), default=None,
+        help="model Monte-Carlo engine (default: $REPRO_MC_KERNEL "
+             "or vectorized)")
     group = parser.add_argument_group("trace target")
     group.add_argument(
         "--setting", choices=sorted(ALL_SETTINGS), default="2-2",
@@ -126,9 +131,12 @@ def main(argv=None) -> int:
         parser.error("--workers must be >= 1")
     prev_workers = parallel._default["max_workers"]
     prev_cache = dict(result_cache._default)
+    prev_kernel = mc_kernel._default["kernel"]
     parallel.configure(max_workers=args.workers)
     result_cache.configure(enabled=not args.no_cache,
                            directory=args.cache_dir)
+    if args.mc_kernel is not None:
+        mc_kernel.configure(args.mc_kernel)
 
     profile = scale_profile(args.scale)
     targets = sorted(BUILDERS) if args.target == "all" \
@@ -153,6 +161,7 @@ def main(argv=None) -> int:
         parallel.configure(max_workers=prev_workers)
         result_cache._default.update(prev_cache)
         result_cache._default["instance"] = None
+        mc_kernel.configure(prev_kernel)
     return 0
 
 

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.experiments.cache import resolve_cache
 from repro.experiments.parallel import ModelTask, ReplicationExecutor
 from repro.model.dmp_model import DmpModel
+from repro.model.mc_kernel import resolve_kernel
 from repro.model.singlepath import SinglePathModel
 from repro.model.tcp_chain import FlowParams, TcpFlowChain
 
@@ -104,7 +105,9 @@ def fig8_curves(p: float = 0.02, to_ratio: float = 4.0,
                 horizon_s: float = 20000.0,
                 seed: int = 0,
                 max_workers: Optional[int] = None,
-                cache=None) -> Dict[float, List[Tuple[float, float]]]:
+                cache=None,
+                mc_kernel: Optional[str] = None) \
+        -> Dict[float, List[Tuple[float, float]]]:
     """Late fraction vs startup delay for several sigma_a/mu ratios.
 
     The full (ratio, tau) grid of Monte-Carlo solves fans out over a
@@ -114,6 +117,7 @@ def fig8_curves(p: float = 0.02, to_ratio: float = 4.0,
     """
     executor = ReplicationExecutor(max_workers=max_workers)
     cache = resolve_cache(cache)
+    kernel = resolve_kernel(mc_kernel)
     grid: List[Tuple[float, float]] = [
         (ratio, float(tau)) for ratio in ratios for tau in taus]
     tasks = []
@@ -121,7 +125,8 @@ def fig8_curves(p: float = 0.02, to_ratio: float = 4.0,
         rtt = rtt_for_ratio(p, to_ratio, mu, ratio)
         params = FlowParams(p=p, rtt=rtt, to_ratio=to_ratio)
         tasks.append(ModelTask(flows=(params, params), mu=mu, tau=tau,
-                               horizon_s=horizon_s, seed=seed))
+                               horizon_s=horizon_s, seed=seed,
+                               mc_kernel=kernel))
     estimates = [cache.get_model(task) if cache else None
                  for task in tasks]
     unsolved = [idx for idx, est in enumerate(estimates)
@@ -159,7 +164,9 @@ def fig9a_rows(ratio: float = 1.6, to_ratio: float = 4.0,
                threshold: float = DEFAULT_THRESHOLD,
                horizon_s: float = 20000.0,
                max_rtt: float = 0.6,
-               seed: int = 0) -> List[RequiredDelayRow]:
+               seed: int = 0,
+               mc_kernel: Optional[str] = None) \
+        -> List[RequiredDelayRow]:
     """Vary RTT to fix the ratio; one bar per (p, mu).
 
     The paper omits (p=0.004, mu=25) because the implied RTT exceeds
@@ -175,7 +182,7 @@ def fig9a_rows(ratio: float = 1.6, to_ratio: float = 4.0,
             model = DmpModel([params, params], mu=mu, tau=1.0)
             required = model.required_startup_delay(
                 threshold=threshold, taus=REQUIRED_DELAY_GRID,
-                horizon_s=horizon_s, seed=seed)
+                horizon_s=horizon_s, seed=seed, mc_kernel=mc_kernel)
             rows.append(RequiredDelayRow(
                 label=f"mu={mu:g},p={p:g}", p=p, rtt=rtt,
                 to_ratio=to_ratio, mu=mu, ratio=ratio,
@@ -188,7 +195,9 @@ def fig9b_rows(ratio: float = 1.6, to_ratio: float = 4.0,
                rtts: Sequence[float] = (0.1, 0.2, 0.3),
                threshold: float = DEFAULT_THRESHOLD,
                horizon_s: float = 20000.0,
-               seed: int = 0) -> List[RequiredDelayRow]:
+               seed: int = 0,
+               mc_kernel: Optional[str] = None) \
+        -> List[RequiredDelayRow]:
     """Vary mu to fix the ratio; one bar per (p, R)."""
     rows = []
     for rtt in rtts:
@@ -198,7 +207,7 @@ def fig9b_rows(ratio: float = 1.6, to_ratio: float = 4.0,
             model = DmpModel([params, params], mu=mu, tau=1.0)
             required = model.required_startup_delay(
                 threshold=threshold, taus=REQUIRED_DELAY_GRID,
-                horizon_s=horizon_s, seed=seed)
+                horizon_s=horizon_s, seed=seed, mc_kernel=mc_kernel)
             rows.append(RequiredDelayRow(
                 label=f"R={rtt * 1000:g}ms,p={p:g}", p=p, rtt=rtt,
                 to_ratio=to_ratio, mu=mu, ratio=ratio,
@@ -247,7 +256,9 @@ def fig10_rows(gammas: Sequence[float] = (1.5, 2.0),
                to_ratio: float = 4.0,
                threshold: float = DEFAULT_THRESHOLD,
                horizon_s: float = 20000.0,
-               seed: int = 0) -> List[HeterogeneityRow]:
+               seed: int = 0,
+               mc_kernel: Optional[str] = None) \
+        -> List[HeterogeneityRow]:
     """Required startup delay under homogeneous vs heterogeneous paths.
 
     The paper's 24 settings: Case 1 with po in {0.01, 0.04} (Ro=150ms),
@@ -275,10 +286,12 @@ def fig10_rows(gammas: Sequence[float] = (1.5, 2.0),
                 hetero_model = DmpModel(list(hetero), mu=mu, tau=1.0)
                 req_homo = homo_model.required_startup_delay(
                     threshold=threshold, taus=REQUIRED_DELAY_GRID,
-                    horizon_s=horizon_s, seed=seed)
+                    horizon_s=horizon_s, seed=seed,
+                    mc_kernel=mc_kernel)
                 req_hetero = hetero_model.required_startup_delay(
                     threshold=threshold, taus=REQUIRED_DELAY_GRID,
-                    horizon_s=horizon_s, seed=seed)
+                    horizon_s=horizon_s, seed=seed,
+                    mc_kernel=mc_kernel)
                 rows.append(HeterogeneityRow(
                     case=case, gamma=gamma, ratio=ratio,
                     homo_params=homo, hetero_params=hetero, mu=mu,
@@ -302,11 +315,14 @@ class StaticComparisonRow:
 
 def _required_static(params: FlowParams, mu: float, threshold: float,
                      horizon_s: float, seed: int,
-                     taus: Sequence[float]) -> Optional[float]:
+                     taus: Sequence[float],
+                     mc_kernel: Optional[str] = None) \
+        -> Optional[float]:
     """Required delay for the static scheme: two mu/2 sub-videos."""
     model = SinglePathModel(params, mu=mu / 2.0, tau=1.0)
     return model.required_startup_delay(
-        threshold=threshold, taus=taus, horizon_s=horizon_s, seed=seed)
+        threshold=threshold, taus=taus, horizon_s=horizon_s, seed=seed,
+        mc_kernel=mc_kernel)
 
 
 def fig11_rows(to_ratio: float = 4.0,
@@ -316,7 +332,9 @@ def fig11_rows(to_ratio: float = 4.0,
                    (0.300, 1.8), (0.300, 2.0)),
                threshold: float = DEFAULT_THRESHOLD,
                horizon_s: float = 20000.0,
-               seed: int = 0) -> List[StaticComparisonRow]:
+               seed: int = 0,
+               mc_kernel: Optional[str] = None) \
+        -> List[StaticComparisonRow]:
     """Required startup delay: DMP vs static (Section 7.4)."""
     rows = []
     for rtt, ratio in groups:
@@ -326,10 +344,10 @@ def fig11_rows(to_ratio: float = 4.0,
             dmp_model = DmpModel([params, params], mu=mu, tau=1.0)
             req_dmp = dmp_model.required_startup_delay(
                 threshold=threshold, taus=REQUIRED_DELAY_GRID,
-                horizon_s=horizon_s, seed=seed)
+                horizon_s=horizon_s, seed=seed, mc_kernel=mc_kernel)
             req_static = _required_static(
                 params, mu, threshold, horizon_s, seed,
-                STATIC_DELAY_GRID)
+                STATIC_DELAY_GRID, mc_kernel=mc_kernel)
             rows.append(StaticComparisonRow(
                 p=p, rtt=rtt, ratio=ratio, mu=mu,
                 required_dmp=req_dmp, required_static=req_static))

@@ -30,6 +30,8 @@ import numpy as np
 from scipy.sparse import csc_matrix
 from scipy.special import gammainc
 
+from repro.model import mc_kernel as _kernel
+from repro.model.mc_kernel import PROB_TOLERANCE, resolve_kernel
 from repro.model.tcp_chain import (
     FlowParams,
     TcpFlowChain,
@@ -65,6 +67,7 @@ class LateFractionEstimate:
     horizon_s: float
     method: str
     path_shares: Tuple[float, ...] = ()
+    kernel: str = "legacy"
 
     @property
     def relative_error(self) -> float:
@@ -93,7 +96,12 @@ class DmpModel:
     # ------------------------------------------------------------------
     def with_tau(self, tau: float) -> "DmpModel":
         """Same flows and rate, different startup delay (chains reused)."""
-        return DmpModel(self.chains, self.mu, tau)
+        clone = DmpModel(self.chains, self.mu, tau)
+        compiled = getattr(self, "_compiled", None)
+        if compiled is not None:
+            # The compiled outcome tables depend only on the chains.
+            clone._compiled = compiled
+        return clone
 
     def aggregate_throughput(self) -> float:
         """sigma_a: sum of the per-path achievable TCP throughputs."""
@@ -109,14 +117,26 @@ class DmpModel:
     # Monte-Carlo solver
     # ------------------------------------------------------------------
     def _compile_tables(self):
-        """Flatten chain outcome lists into numpy arrays for sampling."""
+        """Flatten chain outcome lists into numpy arrays for sampling.
+
+        Outcome probabilities are validated (they must sum to 1 within
+        :data:`repro.model.mc_kernel.PROB_TOLERANCE`) and normalised at
+        build time, so the cumulative rows end at exactly 1.0 and
+        ``searchsorted`` over them can never select past the last
+        outcome for a uniform draw in ``[0, 1)``.
+        """
         tables = []
         for chain in self.chains:
             per_state = []
-            for outs in chain.outcomes:
+            for sid, outs in enumerate(chain.outcomes):
                 probs = np.array([prob for prob, _, _ in outs])
-                cum = np.cumsum(probs)
-                cum[-1] = 1.0  # guard against rounding
+                total = float(probs.sum())
+                if abs(total - 1.0) > PROB_TOLERANCE:
+                    raise AssertionError(
+                        f"outcome probabilities sum to {total} in "
+                        f"state {chain.states[sid]}")
+                cum = np.cumsum(probs / total)
+                cum[-1] = 1.0
                 nxt = np.array([nid for _, nid, _ in outs],
                                dtype=np.int64)
                 svals = np.array([s for _, _, s in outs],
@@ -129,12 +149,21 @@ class DmpModel:
     def late_fraction_mc(self, horizon_s: float = 20000.0,
                          seed: int = 0,
                          burn_in_s: Optional[float] = None,
-                         batches: int = 20) -> LateFractionEstimate:
+                         batches: int = 20,
+                         mc_kernel: Optional[str] = None) \
+            -> LateFractionEstimate:
         """Estimate the stationary late fraction by simulating the CTMC.
 
         ``horizon_s`` is model time; the first ``burn_in_s`` (default:
         10% of the horizon, at least 20 buffer-drain times) is
         discarded.  The standard error comes from batch means.
+
+        ``mc_kernel`` selects the engine: ``"vectorized"`` (the
+        default; R lockstep replicas advanced as numpy arrays, see
+        :mod:`repro.model.mc_kernel`) or ``"legacy"`` (the reference
+        event-by-event loop below).  Both estimate the same quantity
+        over the same total measured model time; they differ only in
+        how the randomness is laid out.
         """
         if horizon_s <= 0:
             raise ValueError("horizon must be positive")
@@ -143,6 +172,12 @@ class DmpModel:
                             min(20 * self.tau, 0.3 * horizon_s))
         if burn_in_s >= horizon_s:
             raise ValueError("burn-in must be shorter than the horizon")
+        if batches < 1:
+            raise ValueError("need at least one batch")
+        if resolve_kernel(mc_kernel) == "vectorized":
+            return _kernel.stationary_late_fraction(
+                self, horizon_s=horizon_s, seed=seed,
+                burn_in_s=burn_in_s, batches=batches)
 
         rng = np.random.default_rng(seed)
         tables = self._compile_tables()
@@ -193,9 +228,9 @@ class DmpModel:
                 flow += 1
                 acc += rates[flow]
             cum, nxt, svals = tables[flow][1][state[flow]]
+            # cum ends at exactly 1.0 (normalised at build time), so
+            # the draw in [0, 1) can never land past the last outcome.
             out = int(np.searchsorted(cum, uni_draw(), side="right"))
-            if out >= len(nxt):
-                out = len(nxt) - 1
             s_delivered = int(svals[out])
             state[flow] = int(nxt[out])
             rates[flow] = tables[flow][0][state[flow]]
@@ -224,7 +259,9 @@ class DmpModel:
     # ------------------------------------------------------------------
     def late_fraction_transient(self, video_s: float,
                                 replications: int = 20,
-                                seed: int = 0) -> LateFractionEstimate:
+                                seed: int = 0,
+                                mc_kernel: Optional[str] = None) \
+            -> LateFractionEstimate:
         """Late fraction of a *finite* video of length ``video_s``.
 
         The stationary solvers answer the paper's t -> infinity
@@ -233,13 +270,19 @@ class DmpModel:
         playback over ``[tau, tau + video_s]``, an empty buffer and
         slow-starting flows at t = 0, and the live-streaming cap
         ``N(t) <= G(t) - B(t)`` evolving through the startup ramp and
-        the end-of-video drain.  Plain event-by-event simulation,
-        replicated for a standard error.
+        the end-of-video drain.  Replicated for a standard error;
+        ``mc_kernel="vectorized"`` (the default) runs the replications
+        as the vector axis of one lockstep array simulation,
+        ``"legacy"`` keeps the plain event-by-event loop.
         """
         if video_s <= 0:
             raise ValueError("video length must be positive")
         if replications < 1:
             raise ValueError("need at least one replication")
+        if resolve_kernel(mc_kernel) == "vectorized":
+            return _kernel.transient_late_fraction(
+                self, video_s=video_s, replications=replications,
+                seed=seed)
         rng = np.random.default_rng(seed)
         tables = self._compile_tables()
         k = len(self.chains)
@@ -283,8 +326,6 @@ class DmpModel:
                     cum, nxt, svals = tables[flow][1][state[flow]]
                     out = int(np.searchsorted(cum, rng.random(),
                                               side="right"))
-                    if out >= len(nxt):
-                        out = len(nxt) - 1
                     state[flow] = int(nxt[out])
                     rates[flow] = tables[flow][0][state[flow]]
                     n = min(n + float(svals[out]), cap)
@@ -394,7 +435,9 @@ class DmpModel:
                                taus: Optional[Sequence[float]] = None,
                                horizon_s: float = 20000.0,
                                seed: int = 0,
-                               max_seeds: int = 4) -> Optional[float]:
+                               max_seeds: int = 4,
+                               mc_kernel: Optional[str] = None) \
+            -> Optional[float]:
         """Smallest startup delay on a grid with late fraction below
         ``threshold`` (MC-based; None when no grid point satisfies it).
 
@@ -410,15 +453,15 @@ class DmpModel:
         taus = sorted(taus)
         lo, hi = 0, len(taus) - 1
         if not self._satisfies(taus[hi], threshold, horizon_s, seed,
-                               max_seeds):
+                               max_seeds, mc_kernel):
             return None
         if self._satisfies(taus[lo], threshold, horizon_s, seed,
-                           max_seeds):
+                           max_seeds, mc_kernel):
             return taus[lo]
         while hi - lo > 1:
             mid = (lo + hi) // 2
             if self._satisfies(taus[mid], threshold, horizon_s, seed,
-                               max_seeds):
+                               max_seeds, mc_kernel):
                 hi = mid
             else:
                 lo = mid
@@ -426,13 +469,15 @@ class DmpModel:
 
     def _satisfies(self, tau: float, threshold: float,
                    horizon_s: float, seed: int,
-                   max_seeds: int = 4) -> bool:
+                   max_seeds: int = 4,
+                   mc_kernel: Optional[str] = None) -> bool:
         """Sequential threshold test, pooling seeds when undecisive."""
         model = self.with_tau(tau)
         total = 0.0
         for i in range(max(1, max_seeds)):
             estimate = model.late_fraction_mc(
-                horizon_s=horizon_s, seed=seed + 7919 * i)
+                horizon_s=horizon_s, seed=seed + 7919 * i,
+                mc_kernel=mc_kernel)
             total += estimate.late_fraction
             pooled = total / (i + 1)
             # Decisive once the pooled mean sits far from the line.
