@@ -32,15 +32,22 @@ import json
 import os
 import tempfile
 from dataclasses import asdict
-from typing import Optional
+from typing import TYPE_CHECKING, Any, Dict, Optional, Union
 
 from repro.model.dmp_model import LateFractionEstimate
 from repro.model.mc_kernel import resolve_kernel
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.parallel import ModelTask, RunSpec
+
 #: Bump to invalidate every cached record (see module docstring).
 #: v3: vectorized MC kernel; model keys are tagged by kernel so
 #: vectorized and legacy estimates never mix under one record.
-CODE_VERSION = 3
+#: v4: key payload functions annotated with their hashed dataclasses
+#: (repro-lint RL004 checks key completeness against them) and the
+#: ``mc_kernel`` getattr replaced by a field read; the payload bytes
+#: are unchanged, bumped conservatively per the RL004 diff policy.
+CODE_VERSION = 4
 
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 ENV_CACHE = "REPRO_CACHE"
@@ -59,7 +66,7 @@ def tau_key(tau: float) -> str:
     return repr(float(tau))
 
 
-def _digest(payload: dict) -> str:
+def _digest(payload: Dict[str, Any]) -> str:
     canonical = json.dumps(payload, sort_keys=True,
                            separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
@@ -68,7 +75,7 @@ def _digest(payload: dict) -> str:
 class ResultCache:
     """Content-addressed JSON store for run and model records."""
 
-    def __init__(self, directory: Optional[str] = None):
+    def __init__(self, directory: Optional[str] = None) -> None:
         self.directory = directory or default_directory()
         self.hits = 0
         self.misses = 0
@@ -76,7 +83,7 @@ class ResultCache:
 
     # -- keys ----------------------------------------------------------
     @staticmethod
-    def run_key_payload(spec) -> dict:
+    def run_key_payload(spec: "RunSpec") -> Dict[str, Any]:
         """The full identity of one simulation run (see RunSpec)."""
         setting = spec.setting
         return {
@@ -94,11 +101,11 @@ class ResultCache:
             "send_buffer_pkts": spec.send_buffer_pkts,
         }
 
-    def run_key(self, spec) -> str:
+    def run_key(self, spec: "RunSpec") -> str:
         return _digest(self.run_key_payload(spec))
 
     @staticmethod
-    def model_key_payload(task) -> dict:
+    def model_key_payload(task: "ModelTask") -> Dict[str, Any]:
         return {
             "kind": "model",
             "version": CODE_VERSION,
@@ -109,15 +116,14 @@ class ResultCache:
             "seed": task.seed,
             # Tagging by resolved kernel keeps vectorized and legacy
             # estimates under distinct records.
-            "mc_kernel": resolve_kernel(
-                getattr(task, "mc_kernel", None)),
+            "mc_kernel": resolve_kernel(task.mc_kernel),
         }
 
-    def model_key(self, task) -> str:
+    def model_key(self, task: "ModelTask") -> str:
         return _digest(self.model_key_payload(task))
 
     # -- run records ---------------------------------------------------
-    def get_run(self, spec) -> Optional[dict]:
+    def get_run(self, spec: "RunSpec") -> Optional[Dict[str, Any]]:
         """Cached record for one replication, or None.
 
         A record is only a hit when it covers *every* startup delay the
@@ -141,7 +147,8 @@ class ResultCache:
         self.hits += 1
         return record
 
-    def put_run(self, spec, record: dict) -> None:
+    def put_run(self, spec: "RunSpec",
+                record: Dict[str, Any]) -> None:
         """Store a replication record, merging taus (and any counters)
         with a prior record under the same key."""
         key = self.run_key(spec)
@@ -157,7 +164,8 @@ class ResultCache:
         self._write(key, record)
 
     # -- model records -------------------------------------------------
-    def get_model(self, task) -> Optional[LateFractionEstimate]:
+    def get_model(self, task: "ModelTask") \
+            -> Optional[LateFractionEstimate]:
         record = self._read(self.model_key(task))
         if record is None:
             self.misses += 1
@@ -176,7 +184,8 @@ class ResultCache:
         self.hits += 1
         return estimate
 
-    def put_model(self, task, estimate: LateFractionEstimate) -> None:
+    def put_model(self, task: "ModelTask",
+                  estimate: LateFractionEstimate) -> None:
         self._write(self.model_key(task), {
             "late_fraction": estimate.late_fraction,
             "stderr": estimate.stderr,
@@ -190,7 +199,7 @@ class ResultCache:
     def _path(self, key: str) -> str:
         return os.path.join(self.directory, key + ".json")
 
-    def _read(self, key: str) -> Optional[dict]:
+    def _read(self, key: str) -> Optional[Dict[str, Any]]:
         try:
             with open(self._path(key), "r", encoding="utf-8") as handle:
                 record = json.load(handle)
@@ -198,7 +207,7 @@ class ResultCache:
             return None  # absent, truncated or corrupt -> miss
         return record if isinstance(record, dict) else None
 
-    def _write(self, key: str, payload: dict) -> None:
+    def _write(self, key: str, payload: Dict[str, Any]) -> None:
         try:
             os.makedirs(self.directory, exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=self.directory,
@@ -218,7 +227,8 @@ class ResultCache:
 # ---------------------------------------------------------------------
 # Process-wide default (wired by the CLI and benchmarks/conftest.py)
 # ---------------------------------------------------------------------
-_default: dict = {"enabled": None, "directory": None, "instance": None}
+_default: Dict[str, Any] = {"enabled": None, "directory": None,
+                            "instance": None}
 
 
 def configure(enabled: Optional[bool] = True,
@@ -241,15 +251,18 @@ def default_cache() -> Optional[ResultCache]:
             not in ("0", "", "false", "no")
     if not enabled:
         return None
-    if _default["instance"] is None:
-        _default["instance"] = ResultCache(_default["directory"])
-    return _default["instance"]
+    instance = _default["instance"]
+    if not isinstance(instance, ResultCache):
+        instance = ResultCache(_default["directory"])
+        _default["instance"] = instance
+    return instance
 
 
-def resolve_cache(cache) -> Optional[ResultCache]:
+def resolve_cache(cache: Union[ResultCache, bool, None]) \
+        -> Optional[ResultCache]:
     """Normalise a ``cache`` argument: None -> default, False -> off."""
     if cache is None:
         return default_cache()
-    if cache is False:
-        return None
-    return cache
+    if isinstance(cache, ResultCache):
+        return cache
+    return None  # False (or any non-cache flag) bypasses caching

@@ -44,9 +44,11 @@ def _run_trace(args) -> int:
         if args.trace_out else None
     sampler = session.attach_timeseries() if args.timeseries else None
 
-    started = time.time()
+    # Wall clock here times the *solver* for the operator; it never
+    # feeds simulated time or results.
+    started = time.time()  # repro-lint: disable=RL001 -- progress timer
     result = session.run()
-    elapsed = time.time() - started
+    elapsed = time.time() - started  # repro-lint: disable=RL001 -- progress timer
 
     if jsonl is not None:
         jsonl.close()
@@ -143,10 +145,10 @@ def main(argv=None) -> int:
         else [args.target]
     try:
         for name in targets:
-            started = time.time()
+            started = time.time()  # repro-lint: disable=RL001 -- progress timer
             text = BUILDERS[name](profile=profile)
             print(text)
-            status = (f"[{name}: {time.time() - started:.1f}s at "
+            status = (f"[{name}: {time.time() - started:.1f}s at "  # repro-lint: disable=RL001 -- progress timer
                       f"profile={profile.name}")
             cache = result_cache.default_cache()
             if cache is not None:

@@ -50,8 +50,13 @@ class RunSpec:
     scheme: str
     seed: int
     send_buffer_pkts: int
-    taus: Tuple[float, ...]
-    counters: bool = False
+    # taus/counters are deliberately NOT part of the cache key: a
+    # record accumulates per-tau results across invocations and
+    # get_run() re-checks that it covers the requested taus (and
+    # carries counters when asked), so differing values never share
+    # results — they share the *record*.
+    taus: Tuple[float, ...]  # repro-lint: disable=RL004 -- merged into the record; coverage re-checked on read
+    counters: bool = False  # repro-lint: disable=RL004 -- presence re-checked on read; counter-less records stay usable
 
 
 @dataclass(frozen=True)

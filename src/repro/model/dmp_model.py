@@ -51,7 +51,7 @@ def expected_excess(lam: float, m: int) -> float:
         raise ValueError("lam must be non-negative")
     if m < 0:
         raise ValueError("m must be non-negative")
-    if lam == 0.0:
+    if lam == 0.0:  # repro-lint: disable=RL005 -- structural zero: lam is validated >= 0 and exactly 0 only for an empty window, not computed
         return 0.0
     if m == 0:
         return lam

@@ -48,7 +48,7 @@ def transient_distribution(generator, pi0, t: float,
     total = pi0.sum()
     if not math.isclose(total, 1.0, rel_tol=1e-9):
         raise ValueError("pi0 must sum to 1")
-    if t == 0.0:
+    if t == 0.0:  # repro-lint: disable=RL005 -- structural zero: t is validated >= 0; exactly 0 means "no elapsed time", an input sentinel, not a computed value
         return pi0.copy()
 
     p, rate = uniformized_dtmc(generator)

@@ -22,7 +22,7 @@ reproducible event stream.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+from typing import Any, Callable, Dict, List, Protocol, Sequence, Tuple
 
 #: Registry of every probe point in the simulator: topic -> field names
 #: (the values tuple each emission carries, after the leading time).
@@ -54,7 +54,22 @@ SCHEMA: Dict[str, Tuple[str, ...]] = {
     "client.buffer": ("level",),
 }
 
-Subscriber = Callable[[str, float, tuple], None]
+Subscriber = Callable[[str, float, Tuple[Any, ...]], None]
+
+
+class Sink(Protocol):
+    """A subscriber object that declares its own topic patterns.
+
+    Anything passed to :meth:`EventBus.attach` must expose ``patterns``
+    (a sequence of subscription patterns) and be callable with the
+    usual ``(topic, time, values)`` triple.
+    """
+
+    @property
+    def patterns(self) -> Sequence[str]: ...
+
+    def __call__(self, topic: str, time: float,
+                 values: Tuple[Any, ...]) -> None: ...
 
 
 class Probe:
@@ -71,7 +86,7 @@ class Probe:
     __slots__ = ("topic", "fields", "subscribers", "emissions",
                  "active")
 
-    def __init__(self, topic: str, fields: Tuple[str, ...]):
+    def __init__(self, topic: str, fields: Tuple[str, ...]) -> None:
         self.topic = topic
         self.fields = fields
         self.subscribers: List[Subscriber] = []
@@ -81,7 +96,7 @@ class Probe:
     def __bool__(self) -> bool:
         return self.active
 
-    def emit(self, time: float, *values) -> None:
+    def emit(self, time: float, *values: Any) -> None:
         """Deliver one event to every subscriber, in subscribe order."""
         self.emissions += 1
         for subscriber in self.subscribers:
@@ -114,7 +129,7 @@ class EventBus:
     pattern is kept and applied to probes declared later).
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._probes: Dict[str, Probe] = {}
         self._patterns: List[Tuple[str, Subscriber]] = []
 
@@ -171,12 +186,12 @@ class EventBus:
                 probe.subscribers.remove(subscriber)
                 probe.active = bool(probe.subscribers)
 
-    def attach(self, sink) -> None:
+    def attach(self, sink: Sink) -> None:
         """Subscribe a sink object: uses its ``patterns`` attribute."""
         for pattern in sink.patterns:
             self.subscribe(pattern, sink)
 
-    def detach(self, sink) -> None:
+    def detach(self, sink: Sink) -> None:
         self.unsubscribe(sink)
 
     @property

@@ -8,7 +8,11 @@ interval, producing the curves behind the paper's Fig.-2-style plots
 
 from __future__ import annotations
 
-from typing import IO, Callable, Dict, List, Optional, Tuple
+from typing import (IO, TYPE_CHECKING, Callable, Dict, List, Optional,
+                    Tuple)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
 
 
 class TimeSeriesSampler:
@@ -19,9 +23,9 @@ class TimeSeriesSampler:
     sampler does not keep an otherwise-finished simulation alive.
     """
 
-    def __init__(self, sim, interval_s: float = 1.0,
+    def __init__(self, sim: "Simulator", interval_s: float = 1.0,
                  start_at: float = 0.0,
-                 until: Optional[float] = None):
+                 until: Optional[float] = None) -> None:
         if interval_s <= 0:
             raise ValueError("sampling interval must be positive")
         self.sim = sim
@@ -48,7 +52,7 @@ class TimeSeriesSampler:
         self.sim.schedule(self.interval_s, self._sample)
 
     # ------------------------------------------------------------------
-    def to_csv(self, handle: IO) -> int:
+    def to_csv(self, handle: IO[str]) -> int:
         """Write ``series,t,value`` rows; returns the row count."""
         handle.write("series,t,value\n")
         rows = 0

@@ -15,7 +15,8 @@ from __future__ import annotations
 
 import json
 from collections import Counter
-from typing import IO, Iterable, Iterator, Optional, Sequence, Union
+from typing import (Any, Dict, IO, Iterable, Iterator, List, Optional,
+                    Sequence, Tuple, Union)
 
 from repro.obs.bus import SCHEMA
 from repro.sim.packet import Packet
@@ -42,11 +43,12 @@ class TraceSink:
     patterns = tuple(_TRACE_EVENTS)
 
     def __init__(self, trace: Optional[PacketTrace] = None,
-                 links: Optional[Iterable[str]] = None):
+                 links: Optional[Iterable[str]] = None) -> None:
         self.trace = trace if trace is not None else PacketTrace()
         self._links = frozenset(links) if links is not None else None
 
-    def __call__(self, topic: str, time: float, values: tuple) -> None:
+    def __call__(self, topic: str, time: float,
+                 values: Tuple[Any, ...]) -> None:
         link = values[0]
         if self._links is not None and link not in self._links:
             return
@@ -58,13 +60,14 @@ class CountersSink:
 
     patterns = ("*",)
 
-    def __init__(self):
-        self.counts: Counter = Counter()
+    def __init__(self) -> None:
+        self.counts: Counter[str] = Counter()
 
-    def __call__(self, topic: str, time: float, values: tuple) -> None:
+    def __call__(self, topic: str, time: float,
+                 values: Tuple[Any, ...]) -> None:
         self.counts[topic] += 1
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> Dict[str, int]:
         return dict(self.counts)
 
     def summary(self) -> str:
@@ -77,15 +80,16 @@ class CountersSink:
 class RecordingSink:
     """Keep every event in memory as ``(topic, time, values)``."""
 
-    def __init__(self, patterns: Sequence[str] = ("*",)):
-        self.patterns = tuple(patterns)
-        self.events: list = []
+    def __init__(self, patterns: Sequence[str] = ("*",)) -> None:
+        self.patterns: Tuple[str, ...] = tuple(patterns)
+        self.events: List[Tuple[str, float, Tuple[Any, ...]]] = []
 
-    def __call__(self, topic: str, time: float, values: tuple) -> None:
+    def __call__(self, topic: str, time: float,
+                 values: Tuple[Any, ...]) -> None:
         self.events.append((topic, time, values))
 
 
-def _jsonify(value):
+def _jsonify(value: Any) -> Any:
     """Best-effort JSON projection of a probe value."""
     if isinstance(value, Packet):
         return {"uid": value.uid, "src": value.src, "dst": value.dst,
@@ -109,19 +113,20 @@ class JsonlSink:
     owned by the sink) or an open file handle (borrowed).
     """
 
-    def __init__(self, target: Union[str, IO],
-                 patterns: Sequence[str] = ("*",)):
-        self.patterns = tuple(patterns)
+    def __init__(self, target: Union[str, IO[str]],
+                 patterns: Sequence[str] = ("*",)) -> None:
+        self.patterns: Tuple[str, ...] = tuple(patterns)
         if isinstance(target, str):
-            self._handle: IO = open(target, "w", encoding="utf-8")
+            self._handle: IO[str] = open(target, "w", encoding="utf-8")
             self._owns_handle = True
         else:
             self._handle = target
             self._owns_handle = False
         self.lines_written = 0
 
-    def __call__(self, topic: str, time: float, values: tuple) -> None:
-        record = {"topic": topic, "t": time}
+    def __call__(self, topic: str, time: float,
+                 values: Tuple[Any, ...]) -> None:
+        record: Dict[str, Any] = {"topic": topic, "t": time}
         for field, value in zip(SCHEMA[topic], values):
             record[field] = _jsonify(value)
         self._handle.write(json.dumps(record) + "\n")
@@ -134,11 +139,11 @@ class JsonlSink:
     def __enter__(self) -> "JsonlSink":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: Any) -> None:
         self.close()
 
 
-def iter_jsonl(path: str) -> Iterator[dict]:
+def iter_jsonl(path: str) -> Iterator[Dict[str, Any]]:
     """Yield the records of a JSONL trace file."""
     with open(path, "r", encoding="utf-8") as handle:
         for line in handle:

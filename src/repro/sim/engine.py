@@ -14,7 +14,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import random
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.obs.bus import EventBus
 
@@ -36,8 +36,8 @@ class Event:
                  "calendar")
 
     def __init__(self, time: float, seq: int,
-                 callback: Callable[..., Any], args: tuple,
-                 calendar: Optional["Simulator"] = None):
+                 callback: Callable[..., Any], args: Tuple[Any, ...],
+                 calendar: Optional["Simulator"] = None) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
@@ -76,13 +76,13 @@ class Simulator:
     """
 
     def __init__(self, seed: Optional[int] = None,
-                 bus: Optional[EventBus] = None):
+                 bus: Optional[EventBus] = None) -> None:
         self.now: float = 0.0
         # Calendar entries are (time, seq, event) tuples, not bare
         # events: tuple comparison is C-level, and with ~13 heap
         # comparisons per event a Python ``__lt__`` dominates the
         # run-loop profile.
-        self._heap: list[tuple[float, int, Event]] = []
+        self._heap: List[Tuple[float, int, Event]] = []
         self._counter = itertools.count()
         self.rng = random.Random(seed)
         self._processed = 0

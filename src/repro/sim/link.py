@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional, TYPE_CHECKING
+from typing import Optional, Tuple, TYPE_CHECKING
 
 from repro.sim.engine import Simulator
 from repro.sim.packet import Packet
@@ -31,7 +31,7 @@ class Link:
                  bandwidth_bps: float, delay_s: float,
                  queue_limit_pkts: int = 50,
                  queue: Optional[DropTailQueue] = None,
-                 name: Optional[str] = None):
+                 name: Optional[str] = None) -> None:
         if bandwidth_bps <= 0:
             raise ValueError("bandwidth must be positive")
         if delay_s < 0:
@@ -108,7 +108,7 @@ class Link:
 
 def duplex_link(sim: Simulator, a: "Node", b: "Node",
                 bandwidth_bps: float, delay_s: float,
-                queue_limit_pkts: int = 50) -> tuple:
+                queue_limit_pkts: int = 50) -> Tuple[Link, Link]:
     """Create a pair of symmetric links ``a -> b`` and ``b -> a``.
 
     Routes for the two endpoints are installed automatically; transit

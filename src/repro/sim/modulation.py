@@ -28,7 +28,7 @@ class OnOffLinkModulator:
                  on_bandwidth_bps: float,
                  off_bandwidth_bps: float = OFF_BANDWIDTH_BPS,
                  period: float = 10.0, on_time: float = 5.0,
-                 phase: float = 0.0):
+                 phase: float = 0.0) -> None:
         if not 0 < on_time <= period:
             raise ValueError("need 0 < on_time <= period")
         if on_bandwidth_bps <= 0 or off_bandwidth_bps <= 0:
@@ -69,7 +69,7 @@ class ScheduledLinkModulator:
     """
 
     def __init__(self, sim: Simulator, link: Link,
-                 schedule: Sequence[Tuple[float, float]]):
+                 schedule: Sequence[Tuple[float, float]]) -> None:
         last_time = -1.0
         for when, bandwidth in schedule:
             if when <= last_time:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Protocol, TYPE_CHECKING
+from typing import Dict, List, Optional, Protocol, TYPE_CHECKING
 
 from repro.sim.engine import Simulator
 from repro.sim.packet import Packet
@@ -27,12 +27,12 @@ class Node:
     destination port.
     """
 
-    def __init__(self, sim: Simulator, name: str):
+    def __init__(self, sim: Simulator, name: str) -> None:
         self.sim = sim
         self.name = name
         self._routes: Dict[str, "Link"] = {}
         self._agents: Dict[int, Agent] = {}
-        self._links: list = []
+        self._links: List["Link"] = []
         self._next_port = 1
         self.forwarded = 0
         self.delivered = 0

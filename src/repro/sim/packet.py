@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import itertools
-from typing import Any, Optional
+from typing import Any, Optional, Set, Tuple
 
 _uid_counter = itertools.count()
 
@@ -42,8 +42,9 @@ class Packet:
     def __init__(self, src: str, dst: str, sport: int, dport: int,
                  size: int, seq: int = 0, ack: int = -1,
                  wnd: int = -1,
-                 flags: Optional[set] = None, payload: Any = None,
-                 created_at: float = 0.0):
+                 flags: Optional[Set[str]] = None,
+                 payload: Any = None,
+                 created_at: float = 0.0) -> None:
         self.uid = next(_uid_counter)
         self.src = src
         self.dst = dst
@@ -53,7 +54,7 @@ class Packet:
         self.seq = seq
         self.ack = ack
         self.wnd = wnd
-        self.flags = flags if flags is not None else set()
+        self.flags: Set[str] = flags if flags is not None else set()
         self.payload = payload
         self.created_at = created_at
         self.hops = 0
@@ -63,7 +64,7 @@ class Packet:
     def is_ack(self) -> bool:
         return "ACK" in self.flags
 
-    def flow_key(self) -> tuple:
+    def flow_key(self) -> Tuple[str, int, str, int]:
         """Identify the unidirectional flow this packet belongs to."""
         return (self.src, self.sport, self.dst, self.dport)
 

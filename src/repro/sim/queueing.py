@@ -7,8 +7,9 @@ ablation experiments.
 
 from __future__ import annotations
 
+import random
 from collections import deque
-from typing import Optional
+from typing import Deque, Optional
 
 from repro.sim.packet import Packet
 
@@ -21,11 +22,11 @@ class DropTailQueue:
     lost due to buffer overflow".
     """
 
-    def __init__(self, capacity: int):
+    def __init__(self, capacity: int) -> None:
         if capacity < 1:
             raise ValueError("queue capacity must be >= 1 packet")
         self.capacity = capacity
-        self._queue: deque = deque()
+        self._queue: Deque[Packet] = deque()
         self.drops = 0
         self.enqueued = 0
         self.max_occupancy = 0
@@ -69,18 +70,22 @@ class REDQueue(DropTailQueue):
 
     def __init__(self, capacity: int, min_th: Optional[float] = None,
                  max_th: Optional[float] = None, max_p: float = 0.1,
-                 weight: float = 0.002, rng=None):
+                 weight: float = 0.002,
+                 rng: Optional[random.Random] = None) -> None:
         super().__init__(capacity)
         self.min_th = min_th if min_th is not None else capacity / 5.0
         self.max_th = max_th if max_th is not None else capacity / 2.0
         if self.min_th >= self.max_th:
             raise ValueError("RED requires min_th < max_th")
+        if rng is None:
+            # A silent fallback RNG here would give every queue the
+            # same drop stream regardless of the experiment seed.
+            raise ValueError(
+                "REDQueue needs an explicit rng threaded from the "
+                "session seed (e.g. sim.rng)")
         self.max_p = max_p
         self.weight = weight
         self.avg = 0.0
-        if rng is None:
-            import random
-            rng = random.Random(0)
         self._rng = rng
 
     def offer(self, packet: Packet) -> bool:

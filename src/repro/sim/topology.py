@@ -53,7 +53,8 @@ class PathHandles:
 class IndependentPathsTopology:
     """The Fig. 3 topology with K independent bottleneck paths."""
 
-    def __init__(self, sim: Simulator, specs: List[BottleneckSpec]):
+    def __init__(self, sim: Simulator,
+                 specs: List[BottleneckSpec]) -> None:
         if not specs:
             raise ValueError("need at least one path spec")
         self.sim = sim
@@ -71,14 +72,18 @@ class IndependentPathsTopology:
         bg_sink = Node(sim, f"bgsink{k}")
 
         # Access and egress links are fat (never the bottleneck).
-        duplex_link(sim, self.server, r_in, ACCESS_BANDWIDTH_BPS,
-                    ACCESS_DELAY_S, queue_limit_pkts=1000)
-        duplex_link(sim, r_out, client_if, ACCESS_BANDWIDTH_BPS,
-                    ACCESS_DELAY_S, queue_limit_pkts=1000)
-        duplex_link(sim, bg_src, r_in, ACCESS_BANDWIDTH_BPS,
-                    ACCESS_DELAY_S, queue_limit_pkts=1000)
-        duplex_link(sim, r_out, bg_sink, ACCESS_BANDWIDTH_BPS,
-                    ACCESS_DELAY_S, queue_limit_pkts=1000)
+        server_up, _ = duplex_link(
+            sim, self.server, r_in, ACCESS_BANDWIDTH_BPS,
+            ACCESS_DELAY_S, queue_limit_pkts=1000)
+        _, client_up = duplex_link(
+            sim, r_out, client_if, ACCESS_BANDWIDTH_BPS,
+            ACCESS_DELAY_S, queue_limit_pkts=1000)
+        bg_up, _ = duplex_link(
+            sim, bg_src, r_in, ACCESS_BANDWIDTH_BPS,
+            ACCESS_DELAY_S, queue_limit_pkts=1000)
+        _, bg_sink_up = duplex_link(
+            sim, r_out, bg_sink, ACCESS_BANDWIDTH_BPS,
+            ACCESS_DELAY_S, queue_limit_pkts=1000)
 
         # The bottleneck itself (observable via the link.* probes).
         fwd = Link(sim, r_in, r_out, spec.bandwidth_bps, spec.delay_s,
@@ -90,16 +95,13 @@ class IndependentPathsTopology:
 
         # Transit routes.
         for dst in (client_if, bg_sink):
-            self.server.add_route(
-                dst.name, self.server.route_for(r_in.name))
-            bg_src.add_route(dst.name, bg_src.route_for(r_in.name))
+            self.server.add_route(dst.name, server_up)
+            bg_src.add_route(dst.name, bg_up)
             r_in.add_route(dst.name, fwd)
         for dst_name in (self.server.name, bg_src.name):
             r_out.add_route(dst_name, rev)
-            client_if.add_route(
-                dst_name, client_if.route_for(r_out.name))
-            bg_sink.add_route(
-                dst_name, bg_sink.route_for(r_out.name))
+            client_if.add_route(dst_name, client_up)
+            bg_sink.add_route(dst_name, bg_sink_up)
 
         return PathHandles(
             index=k, server_if=self.server, client_if=client_if,
@@ -112,7 +114,7 @@ class SharedBottleneckTopology:
     """The Fig. 6 topology: every flow crosses the same bottleneck."""
 
     def __init__(self, sim: Simulator, spec: BottleneckSpec,
-                 n_paths: int = 2):
+                 n_paths: int = 2) -> None:
         self.sim = sim
         self.server = Node(sim, "server")
         self.client = Node(sim, "client")
@@ -121,14 +123,18 @@ class SharedBottleneckTopology:
         bg_src = Node(sim, "bgsrc")
         bg_sink = Node(sim, "bgsink")
 
-        duplex_link(sim, self.server, r1, ACCESS_BANDWIDTH_BPS,
-                    ACCESS_DELAY_S, queue_limit_pkts=1000)
-        duplex_link(sim, r2, self.client, ACCESS_BANDWIDTH_BPS,
-                    ACCESS_DELAY_S, queue_limit_pkts=1000)
-        duplex_link(sim, bg_src, r1, ACCESS_BANDWIDTH_BPS,
-                    ACCESS_DELAY_S, queue_limit_pkts=1000)
-        duplex_link(sim, r2, bg_sink, ACCESS_BANDWIDTH_BPS,
-                    ACCESS_DELAY_S, queue_limit_pkts=1000)
+        server_up, _ = duplex_link(
+            sim, self.server, r1, ACCESS_BANDWIDTH_BPS,
+            ACCESS_DELAY_S, queue_limit_pkts=1000)
+        _, client_up = duplex_link(
+            sim, r2, self.client, ACCESS_BANDWIDTH_BPS,
+            ACCESS_DELAY_S, queue_limit_pkts=1000)
+        bg_up, _ = duplex_link(
+            sim, bg_src, r1, ACCESS_BANDWIDTH_BPS,
+            ACCESS_DELAY_S, queue_limit_pkts=1000)
+        _, bg_sink_up = duplex_link(
+            sim, r2, bg_sink, ACCESS_BANDWIDTH_BPS,
+            ACCESS_DELAY_S, queue_limit_pkts=1000)
 
         fwd = Link(sim, r1, r2, spec.bandwidth_bps, spec.delay_s,
                    spec.buffer_pkts)
@@ -138,16 +144,13 @@ class SharedBottleneckTopology:
         r2.add_route(r1.name, rev)
 
         for dst in (self.client, bg_sink):
-            self.server.add_route(
-                dst.name, self.server.route_for(r1.name))
-            bg_src.add_route(dst.name, bg_src.route_for(r1.name))
+            self.server.add_route(dst.name, server_up)
+            bg_src.add_route(dst.name, bg_up)
             r1.add_route(dst.name, fwd)
         for dst_name in (self.server.name, bg_src.name):
             r2.add_route(dst_name, rev)
-            self.client.add_route(
-                dst_name, self.client.route_for(r2.name))
-            bg_sink.add_route(
-                dst_name, bg_sink.route_for(r2.name))
+            self.client.add_route(dst_name, client_up)
+            bg_sink.add_route(dst_name, bg_sink_up)
 
         self.ingress_router = r1
         self.egress_router = r2

@@ -9,7 +9,7 @@ trace into those per-flow estimates.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterator, List, Optional
+from typing import Any, Callable, Iterator, List, Optional, Set, Tuple
 
 from repro.sim.packet import Packet
 
@@ -35,7 +35,7 @@ class TraceRecord:
     is_ack: bool
     is_retransmit: bool
 
-    def flow_key(self) -> tuple:
+    def flow_key(self) -> Tuple[str, int, str, int]:
         return (self.src, self.sport, self.dst, self.dport)
 
 
@@ -48,7 +48,7 @@ class PacketTrace:
 
     def __init__(self,
                  predicate: Optional[Callable[[TraceRecord], bool]] = None,
-                 events: Optional[set] = None):
+                 events: Optional[Set[str]] = None) -> None:
         self.records: List[TraceRecord] = []
         self._predicate = predicate
         self._events = events
@@ -73,15 +73,15 @@ class PacketTrace:
     def __iter__(self) -> Iterator[TraceRecord]:
         return iter(self.records)
 
-    def filter(self, **field_values) -> List[TraceRecord]:
+    def filter(self, **field_values: Any) -> List[TraceRecord]:
         """Records whose fields equal all the given values."""
-        out = []
+        out: List[TraceRecord] = []
         for rec in self.records:
             if all(getattr(rec, key) == value
                    for key, value in field_values.items()):
                 out.append(rec)
         return out
 
-    def flows(self) -> set:
+    def flows(self) -> Set[Tuple[str, int, str, int]]:
         """Distinct unidirectional flow keys seen in the trace."""
         return {rec.flow_key() for rec in self.records}

@@ -1,0 +1,67 @@
+"""CLI: ``python -m tools.repro_lint [paths...] [--diff FILE|-]``.
+
+Prints ruff-style ``path:line:col: RULE message`` findings on stdout
+and exits 1 when there are any; a one-line summary goes to stderr.
+``--diff`` additionally runs the diff-aware checks (the cache-key /
+CODE_VERSION rule) against a unified diff read from a file or stdin::
+
+    git diff origin/main...HEAD | python -m tools.repro_lint --diff -
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from tools.repro_lint.engine import lint_paths
+from tools.repro_lint.rules import ALL_RULES
+
+DEFAULT_PATHS = ["src", "tests", "benchmarks"]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.repro_lint",
+        description="Domain-aware static analysis for this repository "
+                    "(determinism, probe-schema and cache-key "
+                    "invariants).")
+    parser.add_argument(
+        "paths", nargs="*", default=DEFAULT_PATHS,
+        help="files or directories to lint (default: src tests "
+             "benchmarks)")
+    parser.add_argument(
+        "--diff", metavar="FILE",
+        help="unified diff to run the diff-aware checks against "
+             "('-' reads stdin)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.RULE}  {rule.SUMMARY}")
+        return 0
+
+    diff_text = None
+    if args.diff is not None:
+        if args.diff == "-":
+            diff_text = sys.stdin.read()
+        else:
+            with open(args.diff, "r", encoding="utf-8") as handle:
+                diff_text = handle.read()
+
+    findings = lint_paths(args.paths, diff_text=diff_text)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"repro-lint: {len(findings)} finding(s)",
+              file=sys.stderr)
+        return 1
+    print("repro-lint: clean", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

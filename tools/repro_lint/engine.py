@@ -1,0 +1,271 @@
+"""Lint engine: file collection, suppressions, rule dispatch.
+
+The engine is deliberately dependency-free (stdlib ``ast`` +
+``tokenize`` only) so the lint gate runs anywhere the repository checks
+out — CI installs nothing for it.
+
+Concepts
+--------
+``SourceFile``
+    One parsed module: source text, AST, and the inline suppressions
+    found in its comments.
+``Project``
+    Every collected file, addressable by path relative to the project
+    root.  Cross-module rules (probe/schema consistency, cache-key
+    completeness) see the whole project; per-file rules scope
+    themselves by relative path.
+``Finding``
+    One diagnostic, rendered ruff-style as ``path:line:col: RULE msg``.
+
+Suppression contract
+--------------------
+``# repro-lint: disable=RL001`` (or a comma-separated list) on the
+*reported* line suppresses matching findings on that line.  Everything
+after ``--`` is a free-form rationale; the policy in
+``docs/static-analysis.md`` requires one.  A suppression that matched
+no finding in the run is reported as RL000 ("unused suppression") so
+dead suppressions are cleaned up instead of rotting.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+#: Rule id used for engine-level diagnostics (syntax errors, unused
+#: suppressions).  RL000 findings cannot themselves be suppressed.
+META_RULE = "RL000"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Z]{2}\d{3}(?:\s*,\s*[A-Z]{2}\d{3})*)"
+    r"(?:\s*--\s*(?P<rationale>.*))?")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule} {self.message}")
+
+
+@dataclass
+class Suppression:
+    """One inline ``# repro-lint: disable=...`` comment."""
+
+    line: int
+    rules: Tuple[str, ...]
+    rationale: str
+    used: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class SourceFile:
+    """One parsed Python module of the linted project."""
+
+    path: str          # path as reported in findings
+    rel: str           # posix path relative to the project root
+    text: str
+    tree: Optional[ast.Module]
+    suppressions: Dict[int, Suppression]
+    parse_error: Optional[SyntaxError] = None
+
+    @property
+    def lines(self) -> List[str]:
+        return self.text.splitlines()
+
+    def in_package(self, *prefixes: str) -> bool:
+        """True when the file lives under any of the given prefixes."""
+        return any(self.rel == p or self.rel.startswith(p.rstrip("/") + "/")
+                   for p in prefixes)
+
+
+class Project:
+    """Every file of one lint run, addressable by relative path."""
+
+    def __init__(self, root: str, files: List[SourceFile]):
+        self.root = root
+        self.files = files
+        self._by_rel = {f.rel: f for f in files}
+
+    def get(self, rel: str) -> Optional[SourceFile]:
+        return self._by_rel.get(rel)
+
+    def iter_package(self, *prefixes: str) -> Iterator[SourceFile]:
+        for f in self.files:
+            if f.in_package(*prefixes):
+                yield f
+
+
+def _find_suppressions(text: str) -> Dict[int, Suppression]:
+    """Parse inline suppressions from comment tokens.
+
+    Using :mod:`tokenize` (not a line regex) means a suppression-shaped
+    string literal never registers as a suppression.
+    """
+    out: Dict[int, Suppression] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if not match:
+                continue
+            rules = tuple(r.strip() for r in match.group(1).split(","))
+            rationale = (match.group("rationale") or "").strip()
+            out[tok.start[0]] = Suppression(
+                line=tok.start[0], rules=rules, rationale=rationale)
+    except tokenize.TokenError:
+        pass  # the AST parse will report the real problem
+    return out
+
+
+def load_file(path: str, root: str) -> SourceFile:
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    rel = os.path.relpath(os.path.abspath(path),
+                          os.path.abspath(root)).replace(os.sep, "/")
+    tree: Optional[ast.Module] = None
+    error: Optional[SyntaxError] = None
+    try:
+        tree = ast.parse(text, filename=path)
+    except SyntaxError as exc:
+        error = exc
+    return SourceFile(path=path, rel=rel, text=text, tree=tree,
+                      suppressions=_find_suppressions(text),
+                      parse_error=error)
+
+
+def collect_paths(paths: Iterable[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: Set[str] = set()
+    for path in paths:
+        if os.path.isfile(path):
+            out.add(path)
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d for d in dirnames
+                if d not in ("__pycache__", ".git", ".ruff_cache"))
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    out.add(os.path.join(dirpath, name))
+    return sorted(out)
+
+
+def load_project(paths: Iterable[str],
+                 root: Optional[str] = None) -> Project:
+    root = root or os.getcwd()
+    files = [load_file(p, root) for p in collect_paths(paths)]
+    return Project(root, files)
+
+
+def _all_rules():
+    from tools.repro_lint.rules import ALL_RULES
+    return ALL_RULES
+
+
+def lint_project(project: Project,
+                 diff_text: Optional[str] = None,
+                 rules=None) -> List[Finding]:
+    """Run every rule over the project and apply suppressions."""
+    findings: List[Finding] = []
+    for source in project.files:
+        if source.parse_error is not None:
+            err = source.parse_error
+            findings.append(Finding(
+                source.path, err.lineno or 1, (err.offset or 1),
+                META_RULE, f"syntax error: {err.msg}"))
+    for rule in (rules if rules is not None else _all_rules()):
+        findings.extend(rule.check(project))
+        if diff_text is not None and hasattr(rule, "check_diff"):
+            findings.extend(rule.check_diff(project, diff_text))
+
+    kept: List[Finding] = []
+    for finding in sorted(findings,
+                          key=lambda f: (f.path, f.line, f.col, f.rule)):
+        source = project.get(
+            os.path.relpath(os.path.abspath(finding.path),
+                            os.path.abspath(project.root))
+            .replace(os.sep, "/"))
+        suppression = (source.suppressions.get(finding.line)
+                       if source is not None else None)
+        if (suppression is not None and finding.rule != META_RULE
+                and finding.rule in suppression.rules):
+            suppression.used.add(finding.rule)
+            continue
+        kept.append(finding)
+
+    # Unused suppressions are findings themselves: a suppression that
+    # no longer suppresses anything is stale and must be deleted.
+    for source in project.files:
+        for suppression in source.suppressions.values():
+            for rule_id in suppression.rules:
+                if rule_id not in suppression.used:
+                    kept.append(Finding(
+                        source.path, suppression.line, 1, META_RULE,
+                        f"unused suppression of {rule_id} "
+                        "(nothing to suppress on this line)"))
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return kept
+
+
+def lint_paths(paths: Iterable[str],
+               root: Optional[str] = None,
+               diff_text: Optional[str] = None) -> List[Finding]:
+    """Convenience wrapper: load + lint in one call."""
+    return lint_project(load_project(paths, root=root),
+                        diff_text=diff_text)
+
+
+# ---------------------------------------------------------------------
+# Shared AST helpers used by several rules
+# ---------------------------------------------------------------------
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def imported_module_aliases(tree: ast.Module, module: str) -> Set[str]:
+    """Local names that refer to ``module`` (``import x``/``as y``)."""
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == module:
+                    aliases.add(alias.asname or module)
+                elif alias.name.startswith(module + "."):
+                    # ``import numpy.random`` binds ``numpy``.
+                    aliases.add(alias.asname
+                                or alias.name.split(".")[0])
+    return aliases
+
+
+def imported_names_from(tree: ast.Module, module: str) -> Dict[str, str]:
+    """``from module import a as b`` -> {local name: original name}."""
+    names: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == module:
+            for alias in node.names:
+                names[alias.asname or alias.name] = alias.name
+    return names

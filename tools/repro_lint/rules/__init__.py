@@ -1,0 +1,21 @@
+"""Rule registry.  Each rule module exposes ``RULE``, ``SUMMARY`` and
+``check(project) -> list[Finding]`` (plus ``check_diff`` for rules that
+inspect a unified diff)."""
+
+from tools.repro_lint.rules import (
+    rl001_wallclock,
+    rl002_unordered,
+    rl003_probe_schema,
+    rl004_cache_key,
+    rl005_float_eq,
+)
+
+ALL_RULES = (
+    rl001_wallclock,
+    rl002_unordered,
+    rl003_probe_schema,
+    rl004_cache_key,
+    rl005_float_eq,
+)
+
+__all__ = ["ALL_RULES"]

@@ -1,0 +1,163 @@
+"""RL001 — no wall clock, no unseeded/global randomness in runtime code.
+
+Simulation results must be a pure function of the experiment seed.
+Two classes of call break that silently:
+
+* **wall clock** — ``time.time()``, ``datetime.now()`` and friends leak
+  host time into what should be *simulated* time;
+* **process-global randomness** — ``random.random()``,
+  ``numpy.random.uniform()`` etc. draw from interpreter-global state
+  that any import or library call can perturb, so two runs with the
+  same experiment seed need not agree.
+
+The sanctioned patterns are simulation time (``sim.now``) and explicit
+RNG *instances* threaded from the session/experiment seed
+(``random.Random(seed)``, ``numpy.random.default_rng(seed)``,
+``sim.rng``) — constructing an instance is allowed; calling the module
+singleton is not.  ``random.SystemRandom``, ``os.urandom`` and
+``uuid.uuid4`` are OS entropy and never reproducible, so they are
+flagged outright.
+
+Scope: all of ``src/repro`` (the issue's ``sim``/``tcp``/``core``/
+``model`` floor plus ``traffic``/``experiments``/``obs``, which feed
+the same results).  Operator-facing wall-clock display (CLI progress
+timers) is the one legitimate use; it carries an inline suppression
+with a rationale.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from tools.repro_lint.engine import (
+    Finding,
+    Project,
+    dotted_name,
+    imported_module_aliases,
+    imported_names_from,
+)
+
+RULE = "RL001"
+SUMMARY = ("wall-clock or process-global randomness in deterministic "
+           "runtime code")
+
+SCOPE = ("src/repro",)
+
+#: Wall-clock callables, as dotted suffixes on the ``time`` module.
+_TIME_FUNCS = {"time", "time_ns", "monotonic", "monotonic_ns",
+               "perf_counter", "perf_counter_ns", "process_time",
+               "process_time_ns", "localtime", "gmtime", "ctime"}
+
+#: ``datetime``-module attributes that read the host clock.
+_DATETIME_FUNCS = {"now", "utcnow", "today"}
+
+#: Module-level ``random.*`` functions that use the global Mersenne
+#: Twister.  ``random.Random`` / ``random.seed`` of an *instance* are
+#: fine; ``random.seed`` of the module is not (global state).
+_RANDOM_GLOBAL_FUNCS = {
+    "random", "uniform", "randint", "randrange", "choice", "choices",
+    "sample", "shuffle", "seed", "getrandbits", "expovariate",
+    "gauss", "normalvariate", "lognormvariate", "paretovariate",
+    "weibullvariate", "betavariate", "gammavariate", "triangular",
+    "vonmisesvariate", "binomialvariate", "getstate", "setstate",
+    "randbytes",
+}
+
+#: ``numpy.random`` attributes that are *constructors* of explicit,
+#: seedable generator objects; everything else on ``numpy.random`` is
+#: the legacy global RandomState and is flagged.
+_NP_RANDOM_ALLOWED = {
+    "default_rng", "Generator", "RandomState", "SeedSequence",
+    "BitGenerator", "PCG64", "PCG64DXSM", "Philox", "MT19937", "SFC64",
+}
+
+#: Never-reproducible entropy sources, flagged as full dotted names.
+_ENTROPY_CALLS = {
+    "os.urandom": "os.urandom() is OS entropy",
+    "uuid.uuid1": "uuid.uuid1() depends on host state",
+    "uuid.uuid4": "uuid.uuid4() is OS entropy",
+    "random.SystemRandom": "SystemRandom draws OS entropy",
+}
+
+
+def _check_file(source) -> List[Finding]:
+    tree = source.tree
+    findings: List[Finding] = []
+    time_aliases = imported_module_aliases(tree, "time")
+    random_aliases = imported_module_aliases(tree, "random")
+    numpy_aliases = imported_module_aliases(tree, "numpy")
+    datetime_aliases = imported_module_aliases(tree, "datetime")
+    from_time = imported_names_from(tree, "time")
+    from_random = imported_names_from(tree, "random")
+    from_datetime = imported_names_from(tree, "datetime")
+
+    def flag(node: ast.AST, message: str) -> None:
+        findings.append(Finding(source.path, node.lineno,
+                                node.col_offset + 1, RULE, message))
+
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        dotted = dotted_name(func)
+
+        if dotted is not None:
+            hard = _ENTROPY_CALLS.get(dotted)
+            if hard is not None:
+                flag(node, f"{dotted}: {hard}; results must be a pure "
+                           "function of the experiment seed")
+                continue
+
+        if isinstance(func, ast.Attribute) \
+                and isinstance(func.value, ast.Name):
+            base, attr = func.value.id, func.attr
+            if base in time_aliases and attr in _TIME_FUNCS:
+                flag(node, f"wall-clock call {base}.{attr}(); use "
+                           "simulated time (sim.now) — host time must "
+                           "not influence results")
+            elif base in random_aliases \
+                    and attr in _RANDOM_GLOBAL_FUNCS:
+                flag(node, f"global-state RNG call {base}.{attr}(); "
+                           "draw from an explicit seeded instance "
+                           "(sim.rng / random.Random(seed)) instead")
+            elif base in datetime_aliases and attr in _DATETIME_FUNCS:
+                flag(node, f"wall-clock call {base}.{attr}(); host "
+                           "time must not influence results")
+            elif (base in from_datetime
+                  and from_datetime[base] in ("datetime", "date")
+                  and attr in _DATETIME_FUNCS):
+                flag(node, f"wall-clock call {base}.{attr}(); host "
+                           "time must not influence results")
+
+        # numpy.random.<fn> — a three-deep chain (np.random.uniform)
+        # or ``from numpy import random as npr`` (npr.uniform).
+        if isinstance(func, ast.Attribute) \
+                and isinstance(func.value, ast.Attribute) \
+                and isinstance(func.value.value, ast.Name) \
+                and func.value.value.id in numpy_aliases \
+                and func.value.attr == "random" \
+                and func.attr not in _NP_RANDOM_ALLOWED:
+            flag(node, f"numpy global-state RNG call "
+                       f"numpy.random.{func.attr}(); use "
+                       "numpy.random.default_rng(seed)")
+
+        if isinstance(func, ast.Name):
+            original = from_time.get(func.id)
+            if original in _TIME_FUNCS:
+                flag(node, f"wall-clock call {func.id}() (from time "
+                           f"import {original}); use simulated time")
+            original = from_random.get(func.id)
+            if original in _RANDOM_GLOBAL_FUNCS:
+                flag(node, f"global-state RNG call {func.id}() (from "
+                           f"random import {original}); draw from an "
+                           "explicit seeded instance instead")
+    return findings
+
+
+def check(project: Project) -> List[Finding]:
+    findings: List[Finding] = []
+    for source in project.iter_package(*SCOPE):
+        if source.tree is not None:
+            findings.extend(_check_file(source))
+    return findings

@@ -1,0 +1,147 @@
+"""RL002 — no order-sensitive iteration over unordered collections.
+
+The event calendar breaks ties by insertion order, and every RNG draw
+advances the stream, so the *iteration order* in which components are
+created, scheduled or asked to draw is part of the simulation's
+identity.  Iterating a ``set`` makes that order depend on the process
+hash seed (``PYTHONHASHSEED``): two hosts produce different event
+interleavings — and different results — from the same experiment seed.
+
+Flagged in the scheduling layers (``src/repro/{sim,tcp,core}``):
+
+* ``for``-loops, list comprehensions and generator expressions whose
+  iterable is set-typed (a set literal, a set comprehension, a
+  ``set()``/``frozenset()`` call, or a local variable assigned one),
+  unless the iteration feeds an order-insensitive reduction
+  (``sorted``/``min``/``max``/``sum``/``any``/``all``/``len``/
+  ``set``/``frozenset``);
+* iteration over ``dict.values()`` inside functions that schedule
+  events or draw randomness.  Dict order is insertion order, but the
+  insertion order of a shared registry is itself an accident of
+  construction; where it feeds the calendar or the RNG stream, iterate
+  a sorted view instead.
+
+Building a *new set* from a set (a set comprehension over one) is
+order-free and allowed.  The sanctioned fix is ``sorted(...)`` with an
+explicit key.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set
+
+from tools.repro_lint.engine import Finding, Project
+
+RULE = "RL002"
+SUMMARY = ("iteration order of an unordered collection feeds "
+           "scheduling or RNG draws")
+
+SCOPE = ("src/repro/sim", "src/repro/tcp", "src/repro/core")
+
+_ORDER_FREE_CALLS = {"sorted", "min", "max", "sum", "any", "all",
+                     "len", "set", "frozenset"}
+
+#: Function-body markers that scheduling or randomness is involved.
+_SCHEDULING_ATTRS = {"schedule", "at", "rng"}
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+def _walk_scope(root: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``root`` without descending into nested scopes."""
+    stack = list(ast.iter_child_nodes(root))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, _SCOPE_NODES):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _iter_scopes(tree: ast.Module) -> Iterator[ast.AST]:
+    """The module scope and every (possibly nested) function scope."""
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _is_set_expr(node: ast.AST,
+                 local_sets: Dict[str, ast.AST]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id in ("set", "frozenset"):
+        return True
+    if isinstance(node, ast.Name) and node.id in local_sets:
+        return True
+    return False
+
+
+def _values_call(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "values"
+            and not node.args and not node.keywords)
+
+
+def _check_scope(source, scope: ast.AST) -> List[Finding]:
+    findings: List[Finding] = []
+    body = list(_walk_scope(scope))
+
+    local_sets: Dict[str, ast.AST] = {}
+    schedules = False
+    order_free: Set[int] = set()
+    for node in body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name) \
+                and _is_set_expr(node.value, {}):
+            local_sets[node.targets[0].id] = node.value
+        if isinstance(node, ast.Attribute) \
+                and node.attr in _SCHEDULING_ATTRS:
+            schedules = True
+        if isinstance(node, ast.Name) and node.id == "rng":
+            schedules = True
+        if isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Name) \
+                and node.func.id in _ORDER_FREE_CALLS:
+            for arg in node.args:
+                if isinstance(arg, (ast.GeneratorExp, ast.ListComp)):
+                    order_free.add(id(arg))
+
+    def flag(node: ast.AST, what: str) -> None:
+        findings.append(Finding(
+            source.path, node.lineno, node.col_offset + 1, RULE,
+            f"{what}; iterate sorted(...) so the order cannot depend "
+            "on the hash seed or construction accidents"))
+
+    for node in body:
+        if isinstance(node, ast.For):
+            if _is_set_expr(node.iter, local_sets):
+                flag(node, "for-loop over a set (unordered)")
+            elif _values_call(node.iter) and schedules:
+                flag(node, "for-loop over dict.values() in a "
+                           "scheduling/RNG context")
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+            if id(node) in order_free:
+                continue
+            for gen in node.generators:
+                if _is_set_expr(gen.iter, local_sets):
+                    flag(node, "ordered comprehension over a set "
+                               "(unordered)")
+                elif _values_call(gen.iter) and schedules:
+                    flag(node, "ordered comprehension over "
+                               "dict.values() in a scheduling/RNG "
+                               "context")
+    return findings
+
+
+def check(project: Project) -> List[Finding]:
+    findings: List[Finding] = []
+    for source in project.iter_package(*SCOPE):
+        if source.tree is None:
+            continue
+        for scope in _iter_scopes(source.tree):
+            findings.extend(_check_scope(source, scope))
+    return findings

@@ -1,0 +1,234 @@
+"""RL003 — probe topics and payloads must match the ``obs`` SCHEMA.
+
+The instrumentation bus (:mod:`repro.obs.bus`) declares every probe
+point in one registry::
+
+    SCHEMA = {"link.drop": ("link", "packet", "qlen"), ...}
+
+Downstream consumers (JSONL schema validation, the trace bridge, the
+counters CLI) trust that registry, so three things must stay true
+across the whole tree — none of which a per-file linter can see:
+
+* every ``bus.probe("topic")`` call names a declared topic
+  (``EventBus.probe`` also enforces this at runtime, but only on the
+  code paths a given run happens to execute);
+* every ``<probe>.emit(t, ...)`` call carries exactly the declared
+  payload: one leading timestamp plus ``len(SCHEMA[topic])`` values —
+  an arity drift silently mis-labels JSONL fields;
+* every SCHEMA entry has at least one emitter under ``src/`` — a
+  dead entry documents a probe that no longer exists (dead-schema
+  detection fires on the SCHEMA line so the entry gets removed or the
+  probe restored).
+
+Emit sites are resolved by tracking, per class, assignments of the
+form ``self._p_x = <...>.probe("topic")`` (conditional forms included)
+and plain-variable equivalents, plus local aliases
+(``p = self._p_x``).  Attributes bound in a base class (possibly in
+another file) resolve through a project-wide attribute-name map; a
+name bound to two different topics anywhere is ambiguous and skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from tools.repro_lint.engine import Finding, Project
+
+RULE = "RL003"
+SUMMARY = "probe topic/payload inconsistent with the obs SCHEMA registry"
+
+SCHEMA_FILE = "src/repro/obs/bus.py"
+EMITTER_SCOPE = ("src",)
+
+_AMBIGUOUS = object()
+
+
+def _parse_schema(source) -> Optional[Dict[str, Tuple[int, int]]]:
+    """SCHEMA topics -> (field count, line number of the entry)."""
+    for node in ast.walk(source.tree):
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        if not any(isinstance(t, ast.Name) and t.id == "SCHEMA"
+                   for t in targets):
+            continue
+        if not isinstance(value, ast.Dict):
+            return None
+        schema: Dict[str, Tuple[int, int]] = {}
+        for key, val in zip(value.keys, value.values):
+            if isinstance(key, ast.Constant) \
+                    and isinstance(key.value, str) \
+                    and isinstance(val, ast.Tuple):
+                schema[key.value] = (len(val.elts), key.lineno)
+        return schema
+    return None
+
+
+def _probe_topic(node: ast.AST) -> Optional[ast.Call]:
+    """The ``<...>.probe("lit")`` call inside ``node``, if any."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call) \
+                and isinstance(sub.func, ast.Attribute) \
+                and sub.func.attr == "probe" \
+                and len(sub.args) == 1 \
+                and isinstance(sub.args[0], ast.Constant) \
+                and isinstance(sub.args[0].value, str):
+            return sub
+    return None
+
+
+class _FileScan(ast.NodeVisitor):
+    """Collect probe bindings and emit calls, per class context."""
+
+    def __init__(self):
+        self.class_stack: List[str] = ["<module>"]
+        # (class, kind, name) -> topic or _AMBIGUOUS; kind is "attr"
+        # for ``self.X`` and "var" for plain names.
+        self.bindings: Dict[Tuple[str, str, str], object] = {}
+        # (class, var) -> self-attribute it aliases (``p = self._p_x``)
+        self.var_aliases: Dict[Tuple[str, str], str] = {}
+        self.probe_calls: List[ast.Call] = []
+        self.emit_calls: List[Tuple[str, ast.Call]] = []
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.class_stack.append(node.name)
+        self.generic_visit(node)
+        self.class_stack.pop()
+
+    def _bind(self, kind: str, name: str, topic: str) -> None:
+        key = (self.class_stack[-1], kind, name)
+        known = self.bindings.get(key)
+        if known is not None and known != topic:
+            self.bindings[key] = _AMBIGUOUS
+        else:
+            self.bindings[key] = topic
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        call = _probe_topic(node.value)
+        if call is not None:
+            topic = call.args[0].value
+            for target in node.targets:
+                if isinstance(target, ast.Attribute) \
+                        and isinstance(target.value, ast.Name) \
+                        and target.value.id == "self":
+                    self._bind("attr", target.attr, topic)
+                elif isinstance(target, ast.Name):
+                    self._bind("var", target.id, topic)
+        elif isinstance(node.value, ast.Attribute) \
+                and isinstance(node.value.value, ast.Name) \
+                and node.value.value.id == "self" \
+                and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name):
+            self.var_aliases[(self.class_stack[-1],
+                              node.targets[0].id)] = node.value.attr
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Attribute):
+            if node.func.attr == "probe" \
+                    and len(node.args) == 1 \
+                    and isinstance(node.args[0], ast.Constant) \
+                    and isinstance(node.args[0].value, str):
+                self.probe_calls.append(node)
+            elif node.func.attr == "emit":
+                self.emit_calls.append((self.class_stack[-1], node))
+        self.generic_visit(node)
+
+
+def check(project: Project) -> List[Finding]:
+    schema_source = project.get(SCHEMA_FILE)
+    if schema_source is None or schema_source.tree is None:
+        return []  # bus.py not part of this run; rule is inert
+    schema = _parse_schema(schema_source)
+    if schema is None:
+        return [Finding(schema_source.path, 1, 1, RULE,
+                        "could not parse the SCHEMA dict literal")]
+
+    findings: List[Finding] = []
+    emitted_topics: Set[str] = set()
+
+    scans = []
+    for source in project.iter_package(*EMITTER_SCOPE):
+        if source.tree is None or source.rel == SCHEMA_FILE:
+            continue
+        scan = _FileScan()
+        scan.visit(source.tree)
+        scans.append((source, scan))
+
+    # Project-wide attribute map: resolves emits on probe attributes
+    # bound in a base class, possibly in another file.
+    global_attrs: Dict[str, object] = {}
+    for _, scan in scans:
+        for (_, kind, name), topic in scan.bindings.items():
+            if kind != "attr":
+                continue
+            known = global_attrs.get(name)
+            if known is not None and known != topic:
+                global_attrs[name] = _AMBIGUOUS
+            else:
+                global_attrs[name] = topic
+
+    for source, scan in scans:
+        for call in scan.probe_calls:
+            topic = call.args[0].value
+            if topic in schema:
+                emitted_topics.add(topic)
+            else:
+                findings.append(Finding(
+                    source.path, call.lineno, call.col_offset + 1,
+                    RULE, f"probe topic {topic!r} is not declared in "
+                          "repro.obs.bus.SCHEMA"))
+
+        for class_name, call in scan.emit_calls:
+            func = call.func
+            attr: Optional[str] = None
+            topic: object = None
+            if isinstance(func.value, ast.Attribute) \
+                    and isinstance(func.value.value, ast.Name) \
+                    and func.value.value.id == "self":
+                attr = func.value.attr
+                topic = scan.bindings.get((class_name, "attr", attr))
+            elif isinstance(func.value, ast.Name):
+                var = func.value.id
+                topic = scan.bindings.get((class_name, "var", var))
+                if topic is None:
+                    attr = scan.var_aliases.get((class_name, var))
+                    if attr is not None:
+                        topic = scan.bindings.get(
+                            (class_name, "attr", attr))
+            else:
+                continue
+            if topic is None and attr is not None:
+                topic = global_attrs.get(attr)
+            if topic is None or topic is _AMBIGUOUS \
+                    or topic not in schema:
+                continue
+            if any(isinstance(arg, ast.Starred) for arg in call.args) \
+                    or call.keywords:
+                continue  # dynamic payload; runtime validation only
+            expected = 1 + schema[topic][0]  # time + declared fields
+            if len(call.args) != expected:
+                fields = schema[topic][0]
+                findings.append(Finding(
+                    source.path, call.lineno, call.col_offset + 1,
+                    RULE,
+                    f"emit on probe {topic!r} carries "
+                    f"{len(call.args)} argument(s); SCHEMA declares "
+                    f"{fields} payload field(s) (expected time + "
+                    f"{fields} = {expected})"))
+
+    for topic, (_, lineno) in sorted(schema.items()):
+        if topic not in emitted_topics:
+            findings.append(Finding(
+                schema_source.path, lineno, 1, RULE,
+                f"dead schema entry {topic!r}: no emitter under src/ "
+                "declares this probe — remove the entry or restore "
+                "the probe"))
+    return findings

@@ -1,0 +1,306 @@
+"""RL004 — cache keys must cover every field that affects results.
+
+:mod:`repro.experiments.cache` memoises simulation runs and model
+solves under a sha256 of a canonical key payload.  A dataclass field
+that influences the result but is missing from the key payload makes
+two *different* experiments collide on one record — the cache then
+silently serves wrong numbers, which corrupts every Fig. 8-11 sweep
+without failing a single test.
+
+Static check
+------------
+Each ``*_key_payload`` function in ``cache.py`` names its hashed
+dataclass through its parameter annotation (``spec: RunSpec``).  The
+rule resolves that dataclass (and, one level down, dataclass-typed
+fields accessed through a local alias, e.g. ``setting = spec.setting``)
+and reports any field that the payload function never reads — at the
+*field definition*, so an intentional exclusion is suppressed right
+where the field lives, with its rationale::
+
+    taus: Tuple[float, ...]  # repro-lint: disable=RL004 -- <why>
+
+Field reads are attribute accesses on the parameter or an alias, plus
+``getattr(param, "field", ...)`` with a literal name.
+
+Diff check (``--diff``)
+-----------------------
+When key *material* changes — any line inside a ``*_key_payload``
+function or inside a hashed dataclass body — previously cached records
+no longer mean what their key says.  The only safe invalidation is a
+``CODE_VERSION`` bump, so a diff that touches key material without
+also touching the ``CODE_VERSION = N`` line is a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Set, Tuple
+
+from tools.repro_lint.engine import Finding, Project, SourceFile
+
+RULE = "RL004"
+SUMMARY = "cache-key material out of sync with the hashed dataclasses"
+
+CACHE_FILE = "src/repro/experiments/cache.py"
+
+
+# ---------------------------------------------------------------------
+# Dataclass discovery
+# ---------------------------------------------------------------------
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for deco in node.decorator_list:
+        name = deco
+        if isinstance(name, ast.Call):
+            name = name.func
+        if isinstance(name, ast.Attribute) and name.attr == "dataclass":
+            return True
+        if isinstance(name, ast.Name) and name.id == "dataclass":
+            return True
+    return False
+
+
+class _DataclassInfo:
+    def __init__(self, source: SourceFile, node: ast.ClassDef):
+        self.source = source
+        self.node = node
+        # field name -> (annotation type name or None, line)
+        self.fields: Dict[str, Tuple[Optional[str], int]] = {}
+        for stmt in node.body:
+            if isinstance(stmt, ast.AnnAssign) \
+                    and isinstance(stmt.target, ast.Name):
+                ann = stmt.annotation
+                if isinstance(ann, ast.Constant) \
+                        and isinstance(ann.value, str):
+                    type_name: Optional[str] = ann.value
+                elif isinstance(ann, ast.Name):
+                    type_name = ann.id
+                else:
+                    type_name = None
+                if type_name == "ClassVar" or (
+                        isinstance(ann, ast.Subscript)
+                        and isinstance(ann.value, ast.Name)
+                        and ann.value.id == "ClassVar"):
+                    continue
+                self.fields[stmt.target.id] = (type_name, stmt.lineno)
+
+    @property
+    def span(self) -> Tuple[int, int]:
+        return (self.node.lineno, self.node.end_lineno
+                or self.node.lineno)
+
+
+def _find_dataclasses(project: Project) -> Dict[str, _DataclassInfo]:
+    out: Dict[str, _DataclassInfo] = {}
+    for source in project.iter_package("src"):
+        if source.tree is None:
+            continue
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef) and _is_dataclass(node):
+                out.setdefault(node.name,
+                               _DataclassInfo(source, node))
+    return out
+
+
+# ---------------------------------------------------------------------
+# Key payload analysis
+# ---------------------------------------------------------------------
+def _annotation_name(node: Optional[ast.AST]) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.strip("\"'")
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _key_payload_funcs(source: SourceFile) -> List[ast.FunctionDef]:
+    return [node for node in ast.walk(source.tree)
+            if isinstance(node, ast.FunctionDef)
+            and node.name.endswith("_key_payload")]
+
+
+def _covered_fields(func: ast.FunctionDef, param: str) \
+        -> Tuple[Set[str], Dict[str, str]]:
+    """Fields of ``param`` read in ``func``, plus alias -> field map."""
+    covered: Set[str] = set()
+    aliases: Dict[str, str] = {}  # local name -> field it aliases
+    for node in ast.walk(func):
+        if isinstance(node, ast.Attribute) \
+                and isinstance(node.value, ast.Name) \
+                and node.value.id == param:
+            covered.add(node.attr)
+        elif isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Name) \
+                and node.func.id == "getattr" \
+                and len(node.args) >= 2 \
+                and isinstance(node.args[0], ast.Name) \
+                and node.args[0].id == param \
+                and isinstance(node.args[1], ast.Constant) \
+                and isinstance(node.args[1].value, str):
+            covered.add(node.args[1].value)
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name) \
+                and isinstance(node.value, ast.Attribute) \
+                and isinstance(node.value.value, ast.Name) \
+                and node.value.value.id == param:
+            aliases[node.targets[0].id] = node.value.attr
+    return covered, aliases
+
+
+def check(project: Project) -> List[Finding]:
+    cache_source = project.get(CACHE_FILE)
+    if cache_source is None or cache_source.tree is None:
+        return []  # cache.py not part of this run; rule is inert
+    dataclasses = _find_dataclasses(project)
+    findings: List[Finding] = []
+
+    for func in _key_payload_funcs(cache_source):
+        params = [a for a in func.args.args if a.arg != "self"]
+        if not params:
+            continue
+        param = params[0]
+        root_name = _annotation_name(param.annotation)
+        if root_name is None:
+            findings.append(Finding(
+                cache_source.path, func.lineno, func.col_offset + 1,
+                RULE,
+                f"{func.name}: parameter {param.arg!r} needs a "
+                "dataclass annotation so the key material can be "
+                "checked for completeness"))
+            continue
+        info = dataclasses.get(root_name)
+        if info is None:
+            findings.append(Finding(
+                cache_source.path, func.lineno, func.col_offset + 1,
+                RULE,
+                f"{func.name}: hashed dataclass {root_name!r} not "
+                "found under src/"))
+            continue
+
+        covered, aliases = _covered_fields(func, param.arg)
+        todo: List[Tuple[_DataclassInfo, Set[str], str]] = [
+            (info, covered, param.arg)]
+        # One level of nesting: an alias of a dataclass-typed field
+        # must itself cover that dataclass's fields.
+        for alias, via_field in aliases.items():
+            type_name, _ = info.fields.get(via_field, (None, 0))
+            sub = dataclasses.get(type_name) if type_name else None
+            if sub is not None:
+                sub_covered, _ = _covered_fields(func, alias)
+                todo.append((sub, sub_covered, via_field))
+
+        for dc, reads, context in todo:
+            for name, (_, lineno) in sorted(dc.fields.items()):
+                if name not in reads:
+                    findings.append(Finding(
+                        dc.source.path, lineno, 1, RULE,
+                        f"field {dc.node.name}.{name} is hashed by "
+                        f"{func.name} via {context!r} but absent from "
+                        "the key material — a cache record would be "
+                        "shared across runs that differ in it"))
+    return findings
+
+
+# ---------------------------------------------------------------------
+# Diff check: key-material changes require a CODE_VERSION bump
+# ---------------------------------------------------------------------
+_DIFF_FILE_RE = re.compile(r"^\+\+\+\s+(?:b/)?(.+?)\s*$")
+_HUNK_RE = re.compile(r"^@@ -\d+(?:,\d+)? \+(\d+)(?:,(\d+))? @@")
+
+
+def _changed_lines(diff_text: str) -> Dict[str, Set[int]]:
+    """Per file: new-file line numbers touched by the diff.
+
+    Added/context bookkeeping follows the unified-diff format; a
+    deletion is attributed to the new-file line it precedes, which is
+    enough to intersect with a function/class span.
+    """
+    out: Dict[str, Set[int]] = {}
+    current: Optional[str] = None
+    new_line = 0
+    for raw in diff_text.splitlines():
+        m = _DIFF_FILE_RE.match(raw)
+        if m:
+            current = m.group(1).replace("\\", "/")
+            out.setdefault(current, set())
+            continue
+        m = _HUNK_RE.match(raw)
+        if m and current is not None:
+            new_line = int(m.group(1))
+            continue
+        if current is None or new_line == 0:
+            continue
+        if raw.startswith("+") and not raw.startswith("+++"):
+            out[current].add(new_line)
+            new_line += 1
+        elif raw.startswith("-") and not raw.startswith("---"):
+            out[current].add(new_line)  # deletion before this line
+        elif raw.startswith((" ", "")):
+            new_line += 1
+    return out
+
+
+def _code_version_line(cache_source: SourceFile) -> Optional[int]:
+    for node in ast.walk(cache_source.tree):
+        if isinstance(node, ast.Assign) \
+                and any(isinstance(t, ast.Name)
+                        and t.id == "CODE_VERSION"
+                        for t in node.targets):
+            return node.lineno
+    return None
+
+
+def check_diff(project: Project, diff_text: str) -> List[Finding]:
+    cache_source = project.get(CACHE_FILE)
+    if cache_source is None or cache_source.tree is None:
+        return []
+    changed = _changed_lines(diff_text)
+    if not changed:
+        return []
+
+    # Spans of key material: payload functions + hashed dataclasses.
+    spans: Dict[str, List[Tuple[int, int, str]]] = {}
+    dataclasses = _find_dataclasses(project)
+    hashed: List[str] = []
+    for func in _key_payload_funcs(cache_source):
+        spans.setdefault(CACHE_FILE, []).append(
+            (func.lineno, func.end_lineno or func.lineno, func.name))
+        params = [a for a in func.args.args if a.arg != "self"]
+        if params:
+            name = _annotation_name(params[0].annotation)
+            if name:
+                hashed.append(name)
+                info = dataclasses.get(name)
+                if info is not None:
+                    for fname, (tname, _) in info.fields.items():
+                        if tname and tname in dataclasses:
+                            hashed.append(tname)
+    for name in hashed:
+        info = dataclasses.get(name)
+        if info is not None:
+            lo, hi = info.span
+            spans.setdefault(info.source.rel, []).append(
+                (lo, hi, f"dataclass {name}"))
+
+    touched: List[str] = []
+    for rel, file_spans in spans.items():
+        lines = changed.get(rel, set())
+        for lo, hi, what in file_spans:
+            if any(lo <= line <= hi for line in lines):
+                touched.append(what)
+
+    if not touched:
+        return []
+    version_line = _code_version_line(cache_source)
+    cache_changes = changed.get(CACHE_FILE, set())
+    if version_line is not None and version_line in cache_changes:
+        return []  # material changed AND the version was bumped
+    return [Finding(
+        cache_source.path, version_line or 1, 1, RULE,
+        "cache-key material changed in this diff ("
+        + ", ".join(sorted(set(touched)))
+        + ") without a CODE_VERSION bump — stale records would be "
+        "read back under the new semantics")]

@@ -1,0 +1,70 @@
+"""RL005 — no float equality in the analytical model.
+
+``src/repro/model`` turns measured per-path parameters into CTMC
+transition rates and late-fraction estimates; its arithmetic runs
+through rounding at every step.  ``x == 0.3`` or ``rate != upper``
+silently becomes machine-epsilon roulette — the comparison's truth
+value can flip with an algebraically neutral refactor (or a numpy
+upgrade), which changes which CTMC branch is taken and therefore the
+published curves.
+
+The rule flags ``==``/``!=`` comparisons where either side is
+evidently a float: a float literal, a ``float(...)`` call, or one of
+``math.inf``/``math.nan``/``numpy.inf``/``numpy.nan``.  Integer
+comparisons (state counts, indices) are untouched.  Exact sentinel
+checks that are genuinely intended — e.g. short-circuiting on a
+*structural* zero that was assigned, not computed — stay, with an
+inline suppression stating that rationale.  Everything else should use
+``math.isclose`` or an explicit tolerance.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from tools.repro_lint.engine import Finding, Project, dotted_name
+
+RULE = "RL005"
+SUMMARY = "float equality comparison in the analytical model"
+
+SCOPE = ("src/repro/model",)
+
+_FLOAT_CONST_ATTRS = {"math.inf", "math.nan", "np.inf", "np.nan",
+                      "numpy.inf", "numpy.nan"}
+
+
+def _is_float_expr(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id == "float":
+        return True
+    if isinstance(node, ast.UnaryOp):
+        return _is_float_expr(node.operand)
+    dotted = dotted_name(node)
+    return dotted in _FLOAT_CONST_ATTRS
+
+
+def check(project: Project) -> List[Finding]:
+    findings: List[Finding] = []
+    for source in project.iter_package(*SCOPE):
+        if source.tree is None:
+            continue
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for op, left, right in zip(node.ops, operands,
+                                       operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_float_expr(left) or _is_float_expr(right):
+                    sign = "==" if isinstance(op, ast.Eq) else "!="
+                    findings.append(Finding(
+                        source.path, left.lineno,
+                        left.col_offset + 1, RULE,
+                        f"float {sign} comparison; use math.isclose "
+                        "or an explicit tolerance (exact sentinel "
+                        "checks need a suppression with a rationale)"))
+    return findings
