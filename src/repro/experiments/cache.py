@@ -34,6 +34,7 @@ import tempfile
 from dataclasses import asdict
 from typing import TYPE_CHECKING, Any, Dict, Optional, Union
 
+from repro import telemetry
 from repro.model.dmp_model import LateFractionEstimate
 from repro.model.mc_kernel import resolve_kernel
 
@@ -80,6 +81,28 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+
+    # -- telemetry -----------------------------------------------------
+    def _hit(self, kind: str) -> None:
+        self.hits += 1
+        tel = telemetry.current()
+        if tel.active:
+            tel.metrics.counter("cache.hit").inc(label=kind)
+
+    def _miss(self, kind: str) -> None:
+        self.misses += 1
+        tel = telemetry.current()
+        if tel.active:
+            tel.metrics.counter("cache.miss").inc(label=kind)
+
+    @staticmethod
+    def _note_corrupt(kind: str, key: str) -> None:
+        # The label carries a key prefix: corruption is rare and the
+        # prefix locates the bad record file for forensics.
+        tel = telemetry.current()
+        if tel.active:
+            tel.metrics.counter("cache.corrupt").inc(
+                label=f"{kind}:{key[:12]}")
 
     # -- keys ----------------------------------------------------------
     @staticmethod
@@ -132,19 +155,19 @@ class ResultCache:
         counter-less records written by plain runs stay usable for
         plain requests but force a re-run for instrumented ones.
         """
-        record = self._read(self.run_key(spec))
+        record = self._read(self.run_key(spec), "run")
         if record is None or "flow_stats" not in record \
                 or not isinstance(record.get("taus"), dict):
-            self.misses += 1
+            self._miss("run")
             return None
         if any(tau_key(tau) not in record["taus"] for tau in spec.taus):
-            self.misses += 1
+            self._miss("run")
             return None
         if getattr(spec, "counters", False) \
                 and not isinstance(record.get("counters"), dict):
-            self.misses += 1
+            self._miss("run")
             return None
-        self.hits += 1
+        self._hit("run")
         return record
 
     def put_run(self, spec: "RunSpec",
@@ -152,7 +175,7 @@ class ResultCache:
         """Store a replication record, merging taus (and any counters)
         with a prior record under the same key."""
         key = self.run_key(spec)
-        previous = self._read(key)
+        previous = self._read(key, "run")
         if previous is not None and isinstance(previous.get("taus"),
                                                dict):
             merged = dict(previous["taus"])
@@ -161,14 +184,14 @@ class ResultCache:
             if "counters" not in record \
                     and isinstance(previous.get("counters"), dict):
                 record["counters"] = previous["counters"]
-        self._write(key, record)
+        self._write(key, record, "run")
 
     # -- model records -------------------------------------------------
     def get_model(self, task: "ModelTask") \
             -> Optional[LateFractionEstimate]:
-        record = self._read(self.model_key(task))
+        record = self._read(self.model_key(task), "model")
         if record is None:
-            self.misses += 1
+            self._miss("model")
             return None
         try:
             estimate = LateFractionEstimate(
@@ -179,9 +202,9 @@ class ResultCache:
                 path_shares=tuple(record.get("path_shares", ())),
                 kernel=str(record["kernel"]))
         except (KeyError, TypeError, ValueError):
-            self.misses += 1
+            self._miss("model")
             return None
-        self.hits += 1
+        self._hit("model")
         return estimate
 
     def put_model(self, task: "ModelTask",
@@ -193,21 +216,30 @@ class ResultCache:
             "method": estimate.method,
             "path_shares": list(estimate.path_shares),
             "kernel": estimate.kernel,
-        })
+        }, "model")
 
     # -- storage -------------------------------------------------------
     def _path(self, key: str) -> str:
         return os.path.join(self.directory, key + ".json")
 
-    def _read(self, key: str) -> Optional[Dict[str, Any]]:
+    def _read(self, key: str, kind: str) -> Optional[Dict[str, Any]]:
         try:
             with open(self._path(key), "r", encoding="utf-8") as handle:
                 record = json.load(handle)
-        except (OSError, ValueError):
-            return None  # absent, truncated or corrupt -> miss
-        return record if isinstance(record, dict) else None
+        except OSError:
+            return None  # absent or unreadable -> plain miss
+        except ValueError:
+            # Truncated write, concurrent writer, disk corruption:
+            # still a miss, but one worth counting separately.
+            self._note_corrupt(kind, key)
+            return None
+        if not isinstance(record, dict):
+            self._note_corrupt(kind, key)
+            return None
+        return record
 
-    def _write(self, key: str, payload: Dict[str, Any]) -> None:
+    def _write(self, key: str, payload: Dict[str, Any],
+               kind: str) -> None:
         try:
             os.makedirs(self.directory, exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=self.directory,
@@ -222,6 +254,9 @@ class ResultCache:
         except OSError:
             return  # a read-only cache dir degrades to no caching
         self.stores += 1
+        tel = telemetry.current()
+        if tel.active:
+            tel.metrics.counter("cache.write").inc(label=kind)
 
 
 # ---------------------------------------------------------------------

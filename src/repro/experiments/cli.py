@@ -12,6 +12,15 @@ Run one fully instrumented session (the observability bus):
     python -m repro.experiments.cli trace --setting 2-2 --seed 7 \\
         --duration 60 --trace-out events.jsonl --timeseries curves.csv
 
+Builder targets run under a campaign telemetry session
+(:mod:`repro.telemetry`): a summary table prints at the end of every
+run (disable with --no-telemetry-summary), ``--telemetry-out``
+streams the span/metric log as JSONL, and ``--trace-chrome`` writes a
+Chrome ``trace_event`` file loadable in Perfetto:
+
+    python -m repro.experiments.cli fig8 --workers 4 \\
+        --telemetry-out telemetry.jsonl --trace-chrome trace.json
+
 Scale profiles (also via $REPRO_SCALE): quick (default), full, paper.
 """
 
@@ -21,6 +30,7 @@ import argparse
 import sys
 import time
 
+from repro import telemetry
 from repro.experiments import cache as result_cache
 from repro.experiments import parallel
 from repro.experiments.configs import ALL_SETTINGS
@@ -100,6 +110,17 @@ def main(argv=None) -> int:
         "--mc-kernel", choices=list(mc_kernel.KERNELS), default=None,
         help="model Monte-Carlo engine (default: $REPRO_MC_KERNEL "
              "or vectorized)")
+    parser.add_argument(
+        "--telemetry-out", default=None, metavar="FILE",
+        help="stream campaign telemetry (spans + metrics) to FILE "
+             "as JSON lines")
+    parser.add_argument(
+        "--trace-chrome", default=None, metavar="FILE",
+        help="write the campaign span tree to FILE as Chrome "
+             "trace_event JSON (open in Perfetto)")
+    parser.add_argument(
+        "--no-telemetry-summary", action="store_true",
+        help="skip the end-of-campaign telemetry summary table")
     group = parser.add_argument_group("trace target")
     group.add_argument(
         "--setting", choices=sorted(ALL_SETTINGS), default="2-2",
@@ -144,21 +165,46 @@ def main(argv=None) -> int:
     targets = sorted(BUILDERS) if args.target == "all" \
         else [args.target]
     try:
-        for name in targets:
-            started = time.time()  # repro-lint: disable=RL001 -- progress timer
-            text = BUILDERS[name](profile=profile)
-            print(text)
-            status = (f"[{name}: {time.time() - started:.1f}s at "  # repro-lint: disable=RL001 -- progress timer
-                      f"profile={profile.name}")
-            cache = result_cache.default_cache()
-            if cache is not None:
-                status += (f", cache: {cache.hits} hits / "
-                           f"{cache.misses} misses")
-            print(status + "]\n")
-            if args.output_dir:
-                path = save_output(f"{name}.txt", text,
-                                   directory=args.output_dir)
-                print(f"[saved to {path}]\n")
+        tel = telemetry.start()
+        try:
+            writer = telemetry.TelemetryJsonlWriter(
+                tel, args.telemetry_out) if args.telemetry_out \
+                else None
+            try:
+                with tel.span("campaign", label=args.target,
+                              profile=profile.name):
+                    for name in targets:
+                        started = time.time()  # repro-lint: disable=RL001 -- progress timer
+                        with tel.span("target", label=name):
+                            text = BUILDERS[name](profile=profile)
+                        print(text)
+                        status = (f"[{name}: {time.time() - started:.1f}s at "  # repro-lint: disable=RL001 -- progress timer
+                                  f"profile={profile.name}")
+                        cache = result_cache.default_cache()
+                        if cache is not None:
+                            status += (f", cache: {cache.hits} hits / "
+                                       f"{cache.misses} misses")
+                        print(status + "]\n")
+                        if args.output_dir:
+                            path = save_output(f"{name}.txt", text,
+                                               directory=args.output_dir)
+                            print(f"[saved to {path}]\n")
+            finally:
+                # Closing the writer flushes metrics even when a
+                # builder raised: aborted runs leave valid logs.
+                if writer is not None:
+                    writer.close()
+                    print(f"[wrote telemetry to "
+                          f"{args.telemetry_out}]")
+        finally:
+            telemetry.stop(tel)
+        if args.trace_chrome:
+            events = telemetry.export_chrome_trace(
+                tel, args.trace_chrome)
+            print(f"[wrote {events} trace events to "
+                  f"{args.trace_chrome}]")
+        if not args.no_telemetry_summary:
+            print(telemetry.summary(tel))
     finally:
         parallel.configure(max_workers=prev_workers)
         result_cache._default.update(prev_cache)

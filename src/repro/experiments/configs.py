@@ -16,7 +16,7 @@ DESIGN.md and EXPERIMENTS.md.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.session import PathConfig
 from repro.sim.topology import BottleneckSpec
@@ -83,7 +83,9 @@ class Setting:
     mu: float
     shared_bottleneck: bool = False
 
-    def path_configs(self, table: Dict[int, LinkConfig] = None):
+    def path_configs(self,
+                     table: Optional[Dict[int, LinkConfig]] = None) \
+            -> List[PathConfig]:
         table = table if table is not None else CALIBRATED_CONFIGS
         return [table[i].path_config for i in self.configs]
 

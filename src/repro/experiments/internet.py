@@ -27,6 +27,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro import telemetry
 from repro.core.session import PathConfig, StreamingSession
 from repro.experiments.parallel import ReplicationExecutor
 from repro.experiments.runner import (
@@ -92,6 +93,14 @@ class _ExperimentSpec:
 
 def _run_experiment(spec: _ExperimentSpec) -> InternetExperimentResult:
     """Execute one experiment (worker-safe top-level function)."""
+    tel = telemetry.current()
+    with tel.span("internet.experiment", label=spec.kind,
+                  index=spec.index, mu=spec.mu, seed=spec.seed):
+        return _run_experiment_body(spec)
+
+
+def _run_experiment_body(spec: _ExperimentSpec) \
+        -> InternetExperimentResult:
     # Wide-area paths have a large bandwidth-delay product; the
     # default 16-packet send buffer would cap the in-flight window
     # below fair share (and hide the true loss rate from the
@@ -175,7 +184,10 @@ def run_internet_experiments(
             model_seed=seed + 31 * index))
 
     executor = ReplicationExecutor(max_workers=max_workers)
-    return executor.map(_run_experiment, specs)
+    tel = telemetry.current()
+    with tel.span("internet.campaign", experiments=n_experiments,
+                  seed=seed):
+        return executor.map(_run_experiment, specs)
 
 
 def scatter_points(results: Sequence[InternetExperimentResult]) -> \

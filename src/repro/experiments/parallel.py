@@ -13,6 +13,16 @@ top-level functions (:func:`simulate_run`, :func:`solve_model`)
 whether it runs in a worker process or inline, so parallel results are
 bit-identical to serial ones and cache keys are stable.
 
+Telemetry: when a :mod:`repro.telemetry` session is active, every
+``map`` opens an ``executor.map`` span, work functions open their own
+``replication``/``solve`` spans, and pooled items run under a fresh
+session in the worker (:class:`_CapturedCall`) whose spans are merged
+back in submit order — so the merged tree of a parallel campaign has
+the same :meth:`Span.signature` as the serial one.  Queue waits, item
+durations, worker utilization and fallback/retry counters ride along.
+With no session active all of this reduces to attribute loads on
+:data:`telemetry.NULL_TELEMETRY` (the ``Probe.active`` contract).
+
 Degradation rules:
 
 * ``max_workers <= 1`` (the default) never creates a pool;
@@ -30,8 +40,10 @@ from __future__ import annotations
 import os
 import warnings
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import (Any, Callable, Dict, List, Optional, Sequence,
+                    Tuple, TypeVar)
 
+from repro import telemetry
 from repro.core.session import StreamingSession
 from repro.experiments.cache import tau_key
 from repro.experiments.configs import Setting
@@ -39,6 +51,9 @@ from repro.model.dmp_model import DmpModel, LateFractionEstimate
 from repro.model.tcp_chain import FlowParams
 
 ENV_WORKERS = "REPRO_WORKERS"
+
+T = TypeVar("T")
+R = TypeVar("R")
 
 
 @dataclass(frozen=True)
@@ -78,81 +93,184 @@ class ModelTask:
     mc_kernel: Optional[str] = None
 
 
-def simulate_run(spec: RunSpec) -> dict:
+def simulate_run(spec: RunSpec) -> Dict[str, Any]:
     """Run one replication; returns a JSON-able record.
 
     The record is exactly what the cache stores: the per-flow stats and
     the (playback-order, arrival-order) late fractions at each
     requested startup delay.
     """
-    session = StreamingSession(
-        mu=spec.setting.mu, duration_s=spec.duration_s,
-        paths=spec.setting.path_configs(), scheme=spec.scheme,
-        shared_bottleneck=spec.setting.shared_bottleneck,
-        seed=spec.seed, send_buffer_pkts=spec.send_buffer_pkts)
-    counters = session.attach_counters() if spec.counters else None
-    result = session.run()
-    taus = {}
-    for tau in spec.taus:
-        metrics = result.metrics(tau)
-        taus[tau_key(tau)] = [metrics.late_fraction,
-                              metrics.arrival_order_late_fraction]
-    record = {"flow_stats": result.flow_stats, "taus": taus}
-    if counters is not None:
-        record["counters"] = counters.as_dict()
-    return record
+    tel = telemetry.current()
+    with tel.span("replication", label=spec.setting.name,
+                  scheme=spec.scheme, seed=spec.seed,
+                  duration_s=spec.duration_s):
+        session = StreamingSession(
+            mu=spec.setting.mu, duration_s=spec.duration_s,
+            paths=spec.setting.path_configs(), scheme=spec.scheme,
+            shared_bottleneck=spec.setting.shared_bottleneck,
+            seed=spec.seed, send_buffer_pkts=spec.send_buffer_pkts)
+        counters = session.attach_counters() if spec.counters else None
+        result = session.run()
+        taus: Dict[str, List[float]] = {}
+        for tau in spec.taus:
+            metrics = result.metrics(tau)
+            taus[tau_key(tau)] = [metrics.late_fraction,
+                                  metrics.arrival_order_late_fraction]
+        record: Dict[str, Any] = {"flow_stats": result.flow_stats,
+                                  "taus": taus}
+        if counters is not None:
+            record["counters"] = counters.as_dict()
+        return record
 
 
 def solve_model(task: ModelTask) -> LateFractionEstimate:
     """Run one model Monte-Carlo solve."""
-    model = DmpModel(list(task.flows), mu=task.mu, tau=task.tau)
-    return model.late_fraction_mc(horizon_s=task.horizon_s,
-                                  seed=task.seed,
-                                  mc_kernel=task.mc_kernel)
+    tel = telemetry.current()
+    with tel.span("solve", tau=task.tau, seed=task.seed,
+                  flows=len(task.flows)):
+        model = DmpModel(list(task.flows), mu=task.mu, tau=task.tau)
+        return model.late_fraction_mc(horizon_s=task.horizon_s,
+                                      seed=task.seed,
+                                      mc_kernel=task.mc_kernel)
+
+
+class _CapturedCall:
+    """Picklable wrapper: run ``fn(item)`` in the worker under a fresh
+    telemetry session and ship the session home with the result.
+
+    Returns ``(result, session.portable(), t0, t1)`` where the
+    timestamps come from the worker's monotonic clock — system-wide on
+    Linux, hence comparable with the parent's submit times.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[Any], Any]) -> None:
+        self.fn = fn
+
+    def __call__(self, item: Any) \
+            -> Tuple[Any, Dict[str, Any], float, float]:
+        with telemetry.session() as captured:
+            t0 = captured.clock.now()
+            result = self.fn(item)
+            t1 = captured.clock.now()
+        return result, captured.portable(), t0, t1
 
 
 class ReplicationExecutor:
     """Order-preserving map over processes with serial fallback."""
 
-    def __init__(self, max_workers: Optional[int] = None):
+    def __init__(self, max_workers: Optional[int] = None) -> None:
         if max_workers is None:
             max_workers = default_max_workers()
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self.max_workers = max_workers
 
-    def map(self, fn: Callable, items: Sequence) -> List:
+    def map(self, fn: Callable[[T], R],
+            items: Sequence[T]) -> List[R]:
         """Apply ``fn`` to every item, preserving input order."""
-        items = list(items)
-        workers = min(self.max_workers, len(items))
-        if workers <= 1:
-            return [fn(item) for item in items]
-        try:
-            from concurrent.futures import ProcessPoolExecutor
-            results: List = [None] * len(items)
-            failed: List[int] = []
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [pool.submit(fn, item) for item in items]
-                for idx, future in enumerate(futures):
-                    try:
-                        results[idx] = future.result()
-                    except Exception as exc:
-                        warnings.warn(
-                            f"parallel worker failed on item {idx} "
-                            f"({exc!r}); retrying serially",
-                            RuntimeWarning, stacklevel=2)
-                        failed.append(idx)
-            for idx in failed:
-                # Second failure propagates: it is not a pool problem.
-                results[idx] = fn(items[idx])
-            return results
-        except (ImportError, OSError, PermissionError) as exc:
-            warnings.warn(
-                f"process pool unavailable ({exc!r}); "
-                "running serially", RuntimeWarning, stacklevel=2)
-            return [fn(item) for item in items]
+        work = list(items)
+        workers = min(self.max_workers, len(work))
+        tel = telemetry.current()
+        with tel.span("executor.map", items=len(work),
+                      workers=workers) as sp:
+            if workers <= 1:
+                if sp is not None:
+                    sp.attrs["mode"] = "serial"
+                return [self._run_inline(fn, item, tel)
+                        for item in work]
+            try:
+                return self._run_pool(fn, work, workers, tel, sp)
+            except (ImportError, OSError, PermissionError) as exc:
+                warnings.warn(
+                    f"process pool unavailable ({exc!r}); "
+                    "running serially", RuntimeWarning, stacklevel=2)
+                if tel.active:
+                    tel.metrics.counter(
+                        "executor.serial_fallback").inc()
+                if sp is not None:
+                    sp.attrs["mode"] = "fallback"
+                return [self._run_inline(fn, item, tel)
+                        for item in work]
 
-    def run_replications(self, specs: Sequence[RunSpec]) -> List[dict]:
+    def _run_pool(self, fn: Callable[[T], R], work: List[T],
+                  workers: int, tel: telemetry.Telemetry,
+                  sp: Optional[telemetry.Span]) -> List[R]:
+        from concurrent.futures import ProcessPoolExecutor
+        call: Callable[[T], Any] = \
+            _CapturedCall(fn) if tel.active else fn
+        results: List[Any] = [None] * len(work)
+        failed: List[int] = []
+        busy = 0.0
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            submitted: List[float] = []
+            futures = []
+            for item in work:
+                submitted.append(tel.clock.now())
+                futures.append(pool.submit(call, item))
+            for idx, future in enumerate(futures):
+                try:
+                    outcome = future.result()
+                except Exception as exc:
+                    warnings.warn(
+                        f"parallel worker failed on item {idx} "
+                        f"({exc!r}); retrying serially",
+                        RuntimeWarning, stacklevel=2)
+                    failed.append(idx)
+                    continue
+                if tel.active:
+                    value, portable, t0, t1 = outcome
+                    busy += self._merge_item(tel, portable,
+                                             submitted[idx], t0, t1)
+                    results[idx] = value
+                else:
+                    results[idx] = outcome
+        if sp is not None:
+            sp.attrs["mode"] = "parallel"
+            sp.timing["busy_s"] = busy
+            window = tel.clock.now() - sp.t0
+            if window > 0:
+                tel.metrics.gauge("executor.utilization").set(
+                    busy / (workers * window))
+        for idx in failed:
+            if tel.active:
+                tel.metrics.counter("executor.crash_retry").inc()
+            with tel.span("retry", index=idx):
+                # Second failure propagates: it is not a pool problem.
+                results[idx] = self._run_inline(fn, work[idx], tel)
+        return results
+
+    def _run_inline(self, fn: Callable[[T], R], item: T,
+                    tel: telemetry.Telemetry) -> R:
+        """Run one item in-process, mirroring the pooled item metrics
+        (zero queue wait) so serial and parallel histograms line up."""
+        if not tel.active:
+            return fn(item)
+        t0 = tel.clock.now()
+        result = fn(item)
+        elapsed = tel.clock.now() - t0
+        tel.metrics.histogram("executor.item_seconds").observe(elapsed)
+        tel.metrics.histogram(
+            "executor.queue_wait_seconds").observe(0.0)
+        return result
+
+    @staticmethod
+    def _merge_item(tel: telemetry.Telemetry,
+                    portable: Dict[str, Any], submitted: float,
+                    t0: float, t1: float) -> float:
+        """Graft one worker session; returns the item's busy time."""
+        wait = max(t0 - submitted, 0.0)
+        run_s = max(t1 - t0, 0.0)
+        for span in tel.merge(portable):
+            span.timing["queue_wait_s"] = wait
+        tel.metrics.histogram("executor.item_seconds").observe(run_s)
+        tel.metrics.histogram(
+            "executor.queue_wait_seconds").observe(wait)
+        return run_s
+
+    def run_replications(self, specs: Sequence[RunSpec]) \
+            -> List[Dict[str, Any]]:
         return self.map(simulate_run, specs)
 
     def solve_models(self, tasks: Sequence[ModelTask]) \
@@ -163,7 +281,7 @@ class ReplicationExecutor:
 # ---------------------------------------------------------------------
 # Process-wide default (wired by the CLI and benchmarks/conftest.py)
 # ---------------------------------------------------------------------
-_default: dict = {"max_workers": None}
+_default: Dict[str, Optional[int]] = {"max_workers": None}
 
 
 def configure(max_workers: Optional[int] = None) -> None:
@@ -179,8 +297,9 @@ def configure(max_workers: Optional[int] = None) -> None:
 
 def default_max_workers() -> int:
     """Resolve the default worker count (configure > env > 1)."""
-    if _default["max_workers"] is not None:
-        return _default["max_workers"]
+    configured = _default["max_workers"]
+    if configured is not None:
+        return configured
     env = os.environ.get(ENV_WORKERS)
     if env:
         try:

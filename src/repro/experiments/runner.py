@@ -24,6 +24,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro import telemetry
 from repro.experiments.cache import resolve_cache, tau_key
 from repro.experiments.configs import Setting
 from repro.experiments.parallel import (
@@ -205,86 +206,90 @@ def run_setting(setting: Setting,
         profile = scale_profile()
     if executor is None:
         executor = ReplicationExecutor(max_workers=max_workers)
-    cache = resolve_cache(cache)
+    tel = telemetry.current()
+    with tel.span("setting", label=setting.name, scheme=scheme,
+                  profile=profile.name, runs=profile.runs,
+                  taus=len(taus)):
+        cache = resolve_cache(cache)
 
-    taus = [float(tau) for tau in taus]
-    specs = [RunSpec(setting=setting, duration_s=profile.duration_s,
-                     scheme=scheme, seed=seed0 + run,
-                     send_buffer_pkts=send_buffer_pkts,
-                     taus=tuple(taus), counters=counters)
-             for run in range(profile.runs)]
-    records: List[Optional[dict]] = [
-        cache.get_run(spec) if cache else None for spec in specs]
-    missing = [idx for idx, rec in enumerate(records) if rec is None]
-    fresh = executor.run_replications([specs[idx] for idx in missing])
-    for idx, record in zip(missing, fresh):
-        records[idx] = record
-        if cache:
-            cache.put_run(specs[idx], record)
-
-    per_tau: Dict[float, List[float]] = {
-        tau: [rec["taus"][tau_key(tau)][0] for rec in records]
-        for tau in taus}
-    per_tau_ao: Dict[float, List[float]] = {
-        tau: [rec["taus"][tau_key(tau)][1] for rec in records]
-        for tau in taus}
-    stats_acc: List[List[dict]] = [rec["flow_stats"] for rec in records]
-
-    # Average measured flow parameters over the replications.
-    k = len(stats_acc[0])
-    measured: List[dict] = []
-    for idx in range(k):
-        p_mean = sum(s[idx]["loss_event_estimate"]
-                     for s in stats_acc) / profile.runs
-        rtt_mean = sum(s[idx]["mean_rtt"]
-                       for s in stats_acc) / profile.runs
-        to_mean = sum(s[idx]["timeout_ratio"]
-                      for s in stats_acc) / profile.runs
-        measured.append({"p": p_mean, "rtt": rtt_mean, "to": to_mean})
-
-    flow_params = [
-        FlowParams(p=max(m["p"], MIN_MEASURED_P),
-                   rtt=m["rtt"],
-                   to_ratio=max(m["to"], MIN_MEASURED_TO),
-                   loss_model=MEASURED_LOSS_MODEL)
-        for m in measured]
-
-    estimates = {}
-    if run_model:
-        tasks = [ModelTask(flows=tuple(flow_params), mu=setting.mu,
-                           tau=tau, horizon_s=profile.model_horizon_s,
-                           seed=seed0,
-                           mc_kernel=resolve_kernel(mc_kernel))
-                 for tau in taus]
-        cached = [cache.get_model(task) if cache else None
-                  for task in tasks]
-        unsolved = [idx for idx, est in enumerate(cached)
-                    if est is None]
-        solved = executor.solve_models(
-            [tasks[idx] for idx in unsolved])
-        for idx, estimate in zip(unsolved, solved):
-            cached[idx] = estimate
+        taus = [float(tau) for tau in taus]
+        specs = [RunSpec(setting=setting, duration_s=profile.duration_s,
+                         scheme=scheme, seed=seed0 + run,
+                         send_buffer_pkts=send_buffer_pkts,
+                         taus=tuple(taus), counters=counters)
+                 for run in range(profile.runs)]
+        records: List[Optional[dict]] = [
+            cache.get_run(spec) if cache else None for spec in specs]
+        missing = [idx for idx, rec in enumerate(records) if rec is None]
+        fresh = executor.run_replications([specs[idx] for idx in missing])
+        for idx, record in zip(missing, fresh):
+            records[idx] = record
             if cache:
-                cache.put_model(tasks[idx], estimate)
-        estimates = dict(zip(taus, cached))
+                cache.put_run(specs[idx], record)
 
-    points: List[TauPoint] = []
-    for tau in taus:
-        sim_mean, ci = _mean_ci95(per_tau[tau])
-        ao_mean = sum(per_tau_ao[tau]) / len(per_tau_ao[tau])
+        per_tau: Dict[float, List[float]] = {
+            tau: [rec["taus"][tau_key(tau)][0] for rec in records]
+            for tau in taus}
+        per_tau_ao: Dict[float, List[float]] = {
+            tau: [rec["taus"][tau_key(tau)][1] for rec in records]
+            for tau in taus}
+        stats_acc: List[List[dict]] = [rec["flow_stats"] for rec in records]
+
+        # Average measured flow parameters over the replications.
+        k = len(stats_acc[0])
+        measured: List[dict] = []
+        for idx in range(k):
+            p_mean = sum(s[idx]["loss_event_estimate"]
+                         for s in stats_acc) / profile.runs
+            rtt_mean = sum(s[idx]["mean_rtt"]
+                           for s in stats_acc) / profile.runs
+            to_mean = sum(s[idx]["timeout_ratio"]
+                          for s in stats_acc) / profile.runs
+            measured.append({"p": p_mean, "rtt": rtt_mean, "to": to_mean})
+
+        flow_params = [
+            FlowParams(p=max(m["p"], MIN_MEASURED_P),
+                       rtt=m["rtt"],
+                       to_ratio=max(m["to"], MIN_MEASURED_TO),
+                       loss_model=MEASURED_LOSS_MODEL)
+            for m in measured]
+
+        estimates = {}
         if run_model:
-            estimate = estimates[tau]
-            model_f, model_se = estimate.late_fraction, estimate.stderr
-        else:
-            model_f, model_se = float("nan"), float("nan")
-        points.append(TauPoint(
-            tau=tau, sim_mean=sim_mean, sim_ci95=ci,
-            sim_arrival_order_mean=ao_mean,
-            model_f=model_f, model_stderr=model_se))
+            tasks = [ModelTask(flows=tuple(flow_params), mu=setting.mu,
+                               tau=tau, horizon_s=profile.model_horizon_s,
+                               seed=seed0,
+                               mc_kernel=resolve_kernel(mc_kernel))
+                     for tau in taus]
+            cached = [cache.get_model(task) if cache else None
+                      for task in tasks]
+            unsolved = [idx for idx, est in enumerate(cached)
+                        if est is None]
+            solved = executor.solve_models(
+                [tasks[idx] for idx in unsolved])
+            for idx, estimate in zip(unsolved, solved):
+                cached[idx] = estimate
+                if cache:
+                    cache.put_model(tasks[idx], estimate)
+            estimates = dict(zip(taus, cached))
 
-    return ReplicatedRun(
-        setting=setting, profile=profile, scheme=scheme,
-        flow_params=flow_params, measured=measured, points=points,
-        per_run_late=per_tau,
-        per_run_counters=[rec.get("counters", {}) for rec in records]
-        if counters else [])
+        points: List[TauPoint] = []
+        for tau in taus:
+            sim_mean, ci = _mean_ci95(per_tau[tau])
+            ao_mean = sum(per_tau_ao[tau]) / len(per_tau_ao[tau])
+            if run_model:
+                estimate = estimates[tau]
+                model_f, model_se = estimate.late_fraction, estimate.stderr
+            else:
+                model_f, model_se = float("nan"), float("nan")
+            points.append(TauPoint(
+                tau=tau, sim_mean=sim_mean, sim_ci95=ci,
+                sim_arrival_order_mean=ao_mean,
+                model_f=model_f, model_stderr=model_se))
+
+        return ReplicatedRun(
+            setting=setting, profile=profile, scheme=scheme,
+            flow_params=flow_params, measured=measured, points=points,
+            per_run_late=per_tau,
+            per_run_counters=[rec.get("counters", {}) for rec in records]
+            if counters else [])

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import telemetry
 from repro.experiments.cache import resolve_cache
 from repro.experiments.parallel import ModelTask, ReplicationExecutor
 from repro.model.dmp_model import DmpModel
@@ -127,15 +128,19 @@ def fig8_curves(p: float = 0.02, to_ratio: float = 4.0,
         tasks.append(ModelTask(flows=(params, params), mu=mu, tau=tau,
                                horizon_s=horizon_s, seed=seed,
                                mc_kernel=kernel))
-    estimates = [cache.get_model(task) if cache else None
-                 for task in tasks]
-    unsolved = [idx for idx, est in enumerate(estimates)
-                if est is None]
-    solved = executor.solve_models([tasks[idx] for idx in unsolved])
-    for idx, estimate in zip(unsolved, solved):
-        estimates[idx] = estimate
-        if cache:
-            cache.put_model(tasks[idx], estimate)
+    tel = telemetry.current()
+    with tel.span("sweep.fig8", points=len(grid), ratios=len(ratios),
+                  taus=len(taus), kernel=kernel):
+        estimates = [cache.get_model(task) if cache else None
+                     for task in tasks]
+        unsolved = [idx for idx, est in enumerate(estimates)
+                    if est is None]
+        solved = executor.solve_models(
+            [tasks[idx] for idx in unsolved])
+        for idx, estimate in zip(unsolved, solved):
+            estimates[idx] = estimate
+            if cache:
+                cache.put_model(tasks[idx], estimate)
 
     curves: Dict[float, List[Tuple[float, float]]] = {
         ratio: [] for ratio in ratios}

@@ -41,6 +41,8 @@ from typing import List, Optional, Sequence
 import numpy as np
 from scipy.special import gammainc
 
+from repro import telemetry
+
 KERNELS = ("vectorized", "legacy")
 ENV_KERNEL = "REPRO_MC_KERNEL"
 
@@ -209,7 +211,11 @@ def compiled_model(model) -> CompiledModel:
     """The model's compiled tables, built once and cached on it."""
     cached = getattr(model, "_compiled", None)
     if cached is None:
-        cached = CompiledModel(model.chains)
+        tel = telemetry.current()
+        with tel.span("mc.compile", flows=len(model.chains)) as sp:
+            cached = CompiledModel(model.chains)
+            if sp is not None:
+                sp.attrs["states"] = int(cached.offsets[-1])
         model._compiled = cached
     return cached
 
@@ -233,6 +239,7 @@ class BlockDraws:
         self.n_exp = n_exp
         self.n_uni = n_uni
         self.steps = steps
+        self.refills = 0
         self._cursor = steps
         self._exp = self._uni = None
 
@@ -240,6 +247,7 @@ class BlockDraws:
         """One step's draws: ``n_exp`` exponential rows followed by
         ``n_uni`` uniform rows, as a tuple of 1D arrays."""
         if self._cursor >= self.steps:
+            self.refills += 1
             self._exp = self.rng.standard_exponential(
                 (self.steps, self.n_exp, self.row))
             self._uni = self.rng.random(
@@ -278,6 +286,10 @@ def stationary_late_fraction(model, horizon_s: float, seed: int,
                              replicas: Optional[int] = None):
     """Vectorized stationary late-fraction estimate.
 
+    Telemetry: one ``mc.run`` span (label ``"stationary"``) carrying
+    the replica and drawn-RNG-block counts; the ``mc.blocks`` counter
+    accumulates blocks across solves.
+
     Semantics match ``DmpModel.late_fraction_mc(mc_kernel="legacy")``:
     the total *measured* model time is ``horizon_s - burn_in_s``,
     Rao-Blackwellised late accounting, buffer frozen at ``nmax``.  The
@@ -298,6 +310,23 @@ def stationary_late_fraction(model, horizon_s: float, seed: int,
     separate frozen iterations, but without spending a whole vector
     step on one consumption event.
     """
+    tel = telemetry.current()
+    with tel.span("mc.run", label="stationary", seed=seed,
+                  horizon_s=horizon_s) as sp:
+        estimate, used, blocks = _stationary_impl(
+            model, horizon_s, seed, burn_in_s, batches, replicas)
+        if sp is not None:
+            sp.attrs["replicas"] = used
+            sp.attrs["blocks"] = blocks
+        if tel.active:
+            tel.metrics.counter("mc.blocks").inc(blocks)
+        return estimate
+
+
+def _stationary_impl(model, horizon_s: float, seed: int,
+                     burn_in_s: float, batches: int,
+                     replicas: Optional[int]):
+    """The stationary loop; returns (estimate, replicas, blocks)."""
     from repro.model.dmp_model import LateFractionEstimate
 
     compiled = compiled_model(model)
@@ -345,6 +374,7 @@ def stationary_late_fraction(model, horizon_s: float, seed: int,
 
     BLOCK = 64
     cursor = BLOCK
+    blocks = 0
     until_check = 1
     if two:
         # Path shares are a per-run diagnostic; accumulate the per-step
@@ -371,6 +401,7 @@ def stationary_late_fraction(model, horizon_s: float, seed: int,
         if cursor >= BLOCK:
             if two:
                 flush_shares(BLOCK)
+            blocks += 1
             exp_blk = rng.standard_exponential((BLOCK, 2, R))
             exp_blk[:, 0, :] *= inv_mu  # pre-scaled consumption prefix
             exp_blk[:, 1, :] *= mu      # numerator of lam = mu * dt
@@ -450,7 +481,8 @@ def stationary_late_fraction(model, horizon_s: float, seed: int,
         else tuple(0.0 for _ in range(k))
     return LateFractionEstimate(
         late_fraction=mean, stderr=stderr, horizon_s=horizon_s,
-        method="mc", path_shares=share_tuple, kernel="vectorized")
+        method="mc", path_shares=share_tuple,
+        kernel="vectorized"), replicas, blocks
 
 
 # ---------------------------------------------------------------------
@@ -466,7 +498,25 @@ def transient_late_fraction(model, video_s: float, replications: int,
     are explicit (rate ``mu`` while ``tau <= t < horizon``), and a
     replica frozen before playback steps deterministically by one
     packet time.
+
+    Telemetry: one ``mc.run`` span (label ``"transient"``) plus the
+    ``mc.blocks`` drawn-block counter, as in the stationary kernel.
     """
+    tel = telemetry.current()
+    with tel.span("mc.run", label="transient", seed=seed,
+                  video_s=video_s, replicas=replications) as sp:
+        estimate, blocks = _transient_impl(model, video_s,
+                                           replications, seed)
+        if sp is not None:
+            sp.attrs["blocks"] = blocks
+        if tel.active:
+            tel.metrics.counter("mc.blocks").inc(blocks)
+        return estimate
+
+
+def _transient_impl(model, video_s: float, replications: int,
+                    seed: int):
+    """The transient loop; returns (estimate, blocks)."""
     from repro.model.dmp_model import LateFractionEstimate
 
     compiled = compiled_model(model)
@@ -528,7 +578,8 @@ def transient_late_fraction(model, video_s: float, replications: int,
         if R > 1 else float("nan")
     return LateFractionEstimate(
         late_fraction=mean, stderr=stderr, horizon_s=video_s,
-        method="transient-mc", kernel="vectorized")
+        method="transient-mc",
+        kernel="vectorized"), draws.refills
 
 
 __all__: List[str] = [

@@ -111,6 +111,11 @@ class JsonlSink:
     Each line is ``{"topic": ..., "t": ..., <field>: <value>, ...}``
     with the fields of the topic's schema.  Accepts a path (opened and
     owned by the sink) or an open file handle (borrowed).
+
+    Use it as a context manager around the run: ``__exit__`` calls
+    :meth:`close` even when the block raises, which flushes the stream
+    (borrowed handles included) — an aborted run leaves a valid,
+    replayable whole-line prefix on disk, never a truncated buffer.
     """
 
     def __init__(self, target: Union[str, IO[str]],
@@ -133,7 +138,15 @@ class JsonlSink:
         self.lines_written += 1
 
     def close(self) -> None:
-        if self._owns_handle and not self._handle.closed:
+        """Flush buffered lines; close the handle if the sink owns it.
+
+        Idempotent and exception-safe: called from ``__exit__`` so the
+        log survives aborted runs intact.
+        """
+        if self._handle.closed:
+            return
+        self._handle.flush()
+        if self._owns_handle:
             self._handle.close()
 
     def __enter__(self) -> "JsonlSink":

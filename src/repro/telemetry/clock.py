@@ -1,0 +1,56 @@
+"""Injectable clocks for telemetry timestamps.
+
+Runtime code under ``src/repro`` is RL001-clean: it never reads the
+wall clock, because wall time must never leak into simulated time or
+results.  Telemetry *is* about wall time, so the one sanctioned read
+lives here, behind a narrow interface: every :class:`Telemetry`
+session owns a :class:`Clock`, and tests inject a
+:class:`VirtualClock` to get deterministic span timings.
+
+Telemetry timestamps are monotonic seconds from an arbitrary origin
+(``CLOCK_MONOTONIC``), which on Linux is system-wide: readings taken
+in forked/spawned worker processes are directly comparable with the
+parent's, which is what makes queue-wait measurement across the
+process pool meaningful.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol
+
+
+class Clock(Protocol):
+    """Anything with a monotonically non-decreasing ``now()``."""
+
+    def now(self) -> float:
+        """Current time in seconds from an arbitrary fixed origin."""
+        ...
+
+
+class WallClock:
+    """The real monotonic clock (the only wall-time read in repro)."""
+
+    __slots__ = ()
+
+    def now(self) -> float:
+        return time.monotonic()  # repro-lint: disable=RL001 -- telemetry timestamps only; never feeds simulated time or results
+
+
+class VirtualClock:
+    """Deterministic test clock: advances only when told to."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new reading."""
+        if seconds < 0:
+            raise ValueError("time cannot go backwards")
+        self._now += seconds
+        return self._now

@@ -1,0 +1,239 @@
+"""Tests for the perf-trajectory tracker (tools/perf_track).
+
+The gating rules under test:
+
+* the matched-grid speedup geomean gates across machines and modes
+  (it is scale-free), with a spread-widened tolerance;
+* absolute metrics gate only when machine fingerprint AND mode match;
+* sub-10ms chain-build timings never gate;
+* exit codes: 0 ok, 1 regression, 2 bad input.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import os
+import subprocess
+import sys
+
+from tools.perf_track import (
+    append_history,
+    compare,
+    fingerprint,
+    format_report,
+    load_report,
+    resolve_baseline,
+    speedup_points,
+)
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _report(mode="full", cpu="TestCPU", speedups=None, eps=245000.0):
+    speedups = speedups if speedups is not None else {
+        (1.2, 4.0): 6.0, (1.2, 10.0): 5.5,
+        (1.6, 4.0): 6.5, (1.6, 10.0): 6.2,
+    }
+    return {
+        "created_utc": "2026-08-06T00:00:00+00:00",
+        "mode": mode,
+        "machine": {"cpu_model": cpu, "cpu_count": 4,
+                    "python": "3.11.7", "numpy": "2.4.6"},
+        "benchmarks": {
+            "mc_kernel": {
+                "points": [{"ratio": r, "tau": t, "speedup": s}
+                           for (r, t), s in sorted(speedups.items())],
+                "total_seconds": {"legacy": 17.0, "vectorized": 2.9},
+            },
+            "packet_sim": {"events_per_second": eps},
+            "chain_build": {"compile_seconds": 0.004,
+                            "chain_build_seconds": 0.001},
+        },
+    }
+
+
+def _scaled(doc, factor):
+    out = copy.deepcopy(doc)
+    for point in out["benchmarks"]["mc_kernel"]["points"]:
+        point["speedup"] *= factor
+    return out
+
+
+def _write(tmp_path, name, doc):
+    path = tmp_path / name
+    path.write_text(json.dumps(doc), encoding="utf-8")
+    return str(path)
+
+
+# ---------------------------------------------------------------------
+# compare()
+# ---------------------------------------------------------------------
+def test_identical_reports_pass():
+    comp = compare(_report(), _report())
+    assert comp.ok and comp.same_machine
+    assert comp.matched_points == 4
+    geo = next(r for r in comp.results
+               if r.name == "mc_kernel.speedup_geomean")
+    assert geo.ratio == 1.0 and geo.gated and not geo.regressed
+
+
+def test_quarter_speedups_regress_even_across_machines():
+    new = _scaled(_report(mode="quick", cpu="OtherCPU"), 0.25)
+    comp = compare(new, _report())
+    assert not comp.same_machine
+    geo = next(r for r in comp.results
+               if r.name == "mc_kernel.speedup_geomean")
+    assert geo.regressed
+    assert [r.name for r in comp.regressions] \
+        == ["mc_kernel.speedup_geomean"]
+
+
+def test_matched_points_are_the_grid_intersection():
+    base = _report()
+    quick = _report(speedups={(1.2, 4.0): 6.0, (9.9, 9.9): 4.0})
+    comp = compare(quick, base)
+    assert comp.matched_points == 1  # (9.9, 9.9) has no baseline twin
+    assert speedup_points(quick) != speedup_points(base)
+
+
+def test_absolute_metric_gates_only_same_machine_and_mode():
+    slow = _report(eps=90000.0)  # ~0.37x of baseline
+    comp = compare(slow, _report())  # same machine, same mode
+    eps = next(r for r in comp.results
+               if r.name == "packet_sim.events_per_second")
+    assert eps.gated and eps.regressed
+
+    other = _report(cpu="OtherCPU", eps=90000.0)
+    comp = compare(other, _report())
+    eps = next(r for r in comp.results
+               if r.name == "packet_sim.events_per_second")
+    assert not eps.gated and not eps.regressed
+    assert "info only" in eps.note
+
+    quick = _report(mode="quick", eps=90000.0)  # same machine!
+    comp = compare(quick, _report(mode="full"))
+    eps = next(r for r in comp.results
+               if r.name == "packet_sim.events_per_second")
+    assert not eps.gated  # different mode: not comparable
+
+
+def test_tiny_chain_build_timings_never_gate():
+    doc = _report()
+    slow = copy.deepcopy(doc)
+    slow["benchmarks"]["chain_build"]["compile_seconds"] = 40.0
+    comp = compare(slow, doc)
+    assert comp.ok
+    tiny = next(r for r in comp.results
+                if r.name == "chain_build.compile_seconds")
+    assert not tiny.gated and "info only" in tiny.note
+
+
+def test_noise_inside_tolerance_passes():
+    wobble = {(1.2, 4.0): 0.9, (1.2, 10.0): 1.1,
+              (1.6, 4.0): 0.85, (1.6, 10.0): 1.05}
+    base = _report()
+    new = copy.deepcopy(base)
+    for point in new["benchmarks"]["mc_kernel"]["points"]:
+        point["speedup"] *= wobble[(point["ratio"], point["tau"])]
+    comp = compare(new, base)
+    geo = next(r for r in comp.results
+               if r.name == "mc_kernel.speedup_geomean")
+    assert not geo.regressed  # geomean ~0.97, well inside 0.65 gate
+
+
+def test_resolve_baseline_prefers_the_mode_specific_file(tmp_path):
+    (tmp_path / "BENCH_perf.json").write_text("{}", encoding="utf-8")
+    (tmp_path / "BENCH_perf.quick.json").write_text(
+        "{}", encoding="utf-8")
+    assert resolve_baseline("quick", str(tmp_path)) \
+        .endswith("BENCH_perf.quick.json")
+    # No committed full-mode sibling: fall back to the default.
+    assert resolve_baseline("full", str(tmp_path)) \
+        .endswith(os.path.join(str(tmp_path), "BENCH_perf.json"))
+    assert resolve_baseline(None, str(tmp_path)) \
+        .endswith("BENCH_perf.json")
+
+
+def test_fingerprint_uses_the_stable_keys():
+    fp = fingerprint(_report())
+    assert set(fp) == {"cpu_model", "cpu_count", "python", "numpy"}
+
+
+def test_format_report_renders_every_metric():
+    comp = compare(_scaled(_report(), 0.2), _report())
+    text = format_report(comp)
+    assert "REGRESSION" in text and "mc_kernel.speedup_geomean" in text
+    assert "gate at" in text
+
+
+# ---------------------------------------------------------------------
+# History
+# ---------------------------------------------------------------------
+def test_append_history_writes_one_json_line_per_run(tmp_path):
+    history = str(tmp_path / "nested" / "hist.jsonl")
+    doc = _report()
+    comp = compare(doc, doc)
+    append_history(history, doc, comp, source="a.json")
+    append_history(history, _scaled(doc, 0.25),
+                   compare(_scaled(doc, 0.25), doc), source="b.json")
+    lines = [json.loads(line)
+             for line in open(history, encoding="utf-8")]
+    assert [line["verdict"] for line in lines] == ["ok", "regression"]
+    assert lines[0]["source"] == "a.json"
+    assert lines[0]["created_utc"] == doc["created_utc"]
+    assert lines[0]["matched_points"] == 4
+
+
+# ---------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------
+def _run_cli(args, cwd):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "tools.perf_track", *args],
+        cwd=cwd, env=env, capture_output=True, text=True)
+
+
+def test_cli_pass_and_regression_exit_codes(tmp_path):
+    base = _write(tmp_path, "base.json", _report())
+    good = _write(tmp_path, "good.json",
+                  _report(mode="quick", cpu="CI"))
+    bad = _write(tmp_path, "bad.json",
+                 _scaled(_report(mode="quick", cpu="CI"), 0.25))
+    history = str(tmp_path / "hist.jsonl")
+
+    proc = _run_cli([good, "--baseline", base, "--history", history],
+                    cwd=str(tmp_path))
+    assert proc.returncode == 0, proc.stderr
+    assert "matched grid points" in proc.stdout
+
+    proc = _run_cli([bad, "--baseline", base, "--history", history],
+                    cwd=str(tmp_path))
+    assert proc.returncode == 1
+    assert "REGRESSION" in proc.stderr
+
+    proc = _run_cli([bad, "--baseline", base, "--no-gate",
+                     "--no-history"], cwd=str(tmp_path))
+    assert proc.returncode == 0  # reported but not gated
+
+    assert len(open(history, encoding="utf-8").readlines()) == 2
+
+
+def test_cli_bad_input_exits_two(tmp_path):
+    garbage = tmp_path / "junk.json"
+    garbage.write_text("[]", encoding="utf-8")
+    proc = _run_cli([str(garbage), "--baseline", str(garbage)],
+                    cwd=str(tmp_path))
+    assert proc.returncode == 2
+    proc = _run_cli(["missing.json"], cwd=str(tmp_path))
+    assert proc.returncode == 2
+
+
+def test_committed_baselines_compare_cleanly_against_themselves():
+    for name in ("BENCH_perf.json", "BENCH_perf.quick.json"):
+        doc = load_report(os.path.join(REPO, name))
+        comp = compare(doc, doc)
+        assert comp.ok and comp.same_machine, name
+        assert comp.matched_points == len(speedup_points(doc)), name

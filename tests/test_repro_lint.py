@@ -25,7 +25,10 @@ REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 #: src/ modules held to ``mypy --strict`` (mirrors pyproject.toml).
 STRICT_PATHS = ["src/repro/sim", "src/repro/obs",
-                "src/repro/experiments/cache.py"]
+                "src/repro/telemetry",
+                "src/repro/experiments/cache.py",
+                "src/repro/experiments/configs.py",
+                "src/repro/experiments/parallel.py"]
 
 
 # ---------------------------------------------------------------------
@@ -224,6 +227,69 @@ def test_rl003_resolves_local_probe_alias(tmp_path):
     })
     # The aliased emit carries 0 payload values against 1 declared.
     assert rules_of(findings) == ["RL003"]
+
+
+# ---------------------------------------------------------------------
+# RL003 (telemetry half) — names vs the TELEMETRY_SCHEMA registry
+# ---------------------------------------------------------------------
+_TELEMETRY_SCHEMA_FIXTURE = """\
+    TELEMETRY_SCHEMA = {
+        "campaign": "span",
+        "cache.hit": "counter",
+        "executor.utilization": "gauge",
+        "dead.histogram": "histogram",
+    }
+"""
+
+
+def test_rl003_telemetry_unknown_name_kind_mismatch_and_dead_entry(
+        tmp_path):
+    findings = lint_tree(tmp_path, {
+        "src/repro/telemetry/schema.py": _TELEMETRY_SCHEMA_FIXTURE,
+        "src/repro/experiments/work.py": """\
+            def run(tel):
+                with tel.span("campaign"):
+                    tel.metrics.counter("cache.hit").inc()
+                    tel.metrics.counter("executor.utilization").inc()
+                    tel.metrics.gauge("mystery").set(0.5)
+        """,
+    })
+    assert rules_of(findings) == ["RL003"] * 3
+    messages = [f.message for f in findings]
+    assert any("mystery" in m and "not declared" in m
+               for m in messages)
+    assert any("executor.utilization" in m and "gauge" in m
+               and ".counter()" in m for m in messages)
+    dead = [f for f in findings if "dead.histogram" in f.message]
+    assert len(dead) == 1 and dead[0].path.endswith("schema.py")
+
+
+def test_rl003_telemetry_clean_when_everything_matches(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "src/repro/telemetry/schema.py": """\
+            TELEMETRY_SCHEMA = {
+                "campaign": "span",
+                "cache.hit": "counter",
+            }
+        """,
+        "src/repro/experiments/work.py": """\
+            def run(tel):
+                with tel.span("campaign", label="fig8"):
+                    tel.metrics.counter("cache.hit").inc(label="run")
+        """,
+    })
+    assert findings == []
+
+
+def test_rl003_telemetry_inert_without_schema_file(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "src/repro/experiments/work.py": """\
+            def run(tel):
+                with tel.span("anything.goes"):
+                    pass
+        """,
+    })
+    assert findings == []
 
 
 # ---------------------------------------------------------------------

@@ -26,6 +26,20 @@ and plain-variable equivalents, plus local aliases
 (``p = self._p_x``).  Attributes bound in a base class (possibly in
 another file) resolve through a project-wide attribute-name map; a
 name bound to two different topics anywhere is ambiguous and skipped.
+
+The campaign telemetry layer (:mod:`repro.telemetry`) has the same
+shape of contract against its own registry,
+``TELEMETRY_SCHEMA = {"cache.hit": "counter", ...}``:
+
+* every ``.span("name")`` / ``.counter("name")`` / ``.gauge("name")``
+  / ``.histogram("name")`` call with a literal name must name a
+  declared entry, and the accessor must match the declared kind
+  (``.counter("executor.utilization")`` on a gauge entry is a bug the
+  runtime would also catch, but only on an executed path);
+* every TELEMETRY_SCHEMA entry needs at least one literal call site
+  under ``src/`` — dead entries fire on the schema line.
+
+Both halves are inert when their schema file is not part of the run.
 """
 
 from __future__ import annotations
@@ -36,10 +50,20 @@ from typing import Dict, List, Optional, Set, Tuple
 from tools.repro_lint.engine import Finding, Project
 
 RULE = "RL003"
-SUMMARY = "probe topic/payload inconsistent with the obs SCHEMA registry"
+SUMMARY = ("probe/telemetry names inconsistent with their declared "
+           "schema registries")
 
 SCHEMA_FILE = "src/repro/obs/bus.py"
+TELEMETRY_SCHEMA_FILE = "src/repro/telemetry/schema.py"
 EMITTER_SCOPE = ("src",)
+
+#: Telemetry accessor method -> the kind its argument must declare.
+_TELEMETRY_METHODS = {
+    "span": "span",
+    "counter": "counter",
+    "gauge": "gauge",
+    "histogram": "histogram",
+}
 
 _AMBIGUOUS = object()
 
@@ -69,6 +93,86 @@ def _parse_schema(source) -> Optional[Dict[str, Tuple[int, int]]]:
                 schema[key.value] = (len(val.elts), key.lineno)
         return schema
     return None
+
+
+def _parse_telemetry_schema(source) \
+        -> Optional[Dict[str, Tuple[str, int]]]:
+    """TELEMETRY_SCHEMA names -> (kind, line number of the entry)."""
+    for node in ast.walk(source.tree):
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        if not any(isinstance(t, ast.Name) and t.id == "TELEMETRY_SCHEMA"
+                   for t in targets):
+            continue
+        if not isinstance(value, ast.Dict):
+            return None
+        schema: Dict[str, Tuple[str, int]] = {}
+        for key, val in zip(value.keys, value.values):
+            if isinstance(key, ast.Constant) \
+                    and isinstance(key.value, str) \
+                    and isinstance(val, ast.Constant) \
+                    and isinstance(val.value, str):
+                schema[key.value] = (val.value, key.lineno)
+        return schema
+    return None
+
+
+def _check_telemetry(project: Project) -> List[Finding]:
+    """Validate literal telemetry names against TELEMETRY_SCHEMA."""
+    schema_source = project.get(TELEMETRY_SCHEMA_FILE)
+    if schema_source is None or schema_source.tree is None:
+        return []  # telemetry package not part of this run; inert
+    schema = _parse_telemetry_schema(schema_source)
+    if schema is None:
+        return [Finding(schema_source.path, 1, 1, RULE,
+                        "could not parse the TELEMETRY_SCHEMA dict "
+                        "literal")]
+
+    findings: List[Finding] = []
+    used_names: Set[str] = set()
+    for source in project.iter_package(*EMITTER_SCOPE):
+        if source.tree is None or source.rel == TELEMETRY_SCHEMA_FILE:
+            continue
+        for node in ast.walk(source.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _TELEMETRY_METHODS
+                    and node.args
+                    and isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, str)):
+                continue
+            name = node.args[0].value
+            kind = _TELEMETRY_METHODS[node.func.attr]
+            declared = schema.get(name)
+            if declared is None:
+                findings.append(Finding(
+                    source.path, node.lineno, node.col_offset + 1,
+                    RULE, f"telemetry name {name!r} is not declared "
+                          "in repro.telemetry.schema.TELEMETRY_SCHEMA"))
+                continue
+            used_names.add(name)
+            if declared[0] != kind:
+                findings.append(Finding(
+                    source.path, node.lineno, node.col_offset + 1,
+                    RULE,
+                    f"telemetry name {name!r} is declared as a "
+                    f"{declared[0]} but used via .{node.func.attr}()"))
+
+    for name, (kind, lineno) in sorted(schema.items()):
+        if name not in used_names:
+            findings.append(Finding(
+                schema_source.path, lineno, 1, RULE,
+                f"dead telemetry schema entry {name!r} ({kind}): no "
+                "literal call site under src/ uses this name — remove "
+                "the entry or restore the instrumentation"))
+    return findings
 
 
 def _probe_topic(node: ast.AST) -> Optional[ast.Call]:
@@ -143,15 +247,17 @@ class _FileScan(ast.NodeVisitor):
 
 
 def check(project: Project) -> List[Finding]:
+    findings = _check_telemetry(project)
     schema_source = project.get(SCHEMA_FILE)
     if schema_source is None or schema_source.tree is None:
-        return []  # bus.py not part of this run; rule is inert
+        return findings  # bus.py not in this run; probe half is inert
     schema = _parse_schema(schema_source)
     if schema is None:
-        return [Finding(schema_source.path, 1, 1, RULE,
-                        "could not parse the SCHEMA dict literal")]
+        findings.append(Finding(
+            schema_source.path, 1, 1, RULE,
+            "could not parse the SCHEMA dict literal"))
+        return findings
 
-    findings: List[Finding] = []
     emitted_topics: Set[str] = set()
 
     scans = []
