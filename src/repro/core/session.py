@@ -27,6 +27,7 @@ from repro.obs.bus import EventBus
 from repro.obs.sampler import TimeSeriesSampler
 from repro.obs.sinks import CountersSink, JsonlSink, TraceSink
 from repro.sim.engine import Simulator
+from repro.sim.queueing import QUEUE_DISCIPLINES
 from repro.sim.topology import (
     BottleneckSpec,
     IndependentPathsTopology,
@@ -90,15 +91,21 @@ class StreamingSession:
                  static_weights: Optional[Sequence[float]] = None,
                  tcp_variant: str = "reno",
                  client_buffer_pkts: Optional[int] = None,
-                 client_tau: float = 10.0):
+                 client_tau: float = 10.0,
+                 queue_discipline: str = "droptail"):
         if scheme not in ("dmp", "static", "single"):
             raise ValueError(f"unknown scheme: {scheme}")
         if scheme == "single" and len(paths) != 1:
             raise ValueError("single-path scheme needs exactly one path")
+        if queue_discipline not in QUEUE_DISCIPLINES:
+            raise ValueError(
+                f"unknown queue discipline: {queue_discipline} "
+                f"(choose from {list(QUEUE_DISCIPLINES)})")
         self.mu = mu
         self.duration_s = duration_s
         self.scheme = scheme
         self.warmup_s = warmup_s
+        self.queue_discipline = queue_discipline
         self.sim = Simulator(seed=seed)
 
         # --- topology -------------------------------------------------
@@ -109,14 +116,16 @@ class StreamingSession:
                 raise ValueError(
                     "shared bottleneck requires one common spec")
             topo = SharedBottleneckTopology(
-                self.sim, paths[0].bottleneck, n_paths=len(paths))
+                self.sim, paths[0].bottleneck, n_paths=len(paths),
+                queue_discipline=queue_discipline)
             bg_paths = [paths[0]]
             self._bottlenecks = [topo.bottleneck_fwd]
             self._bottleneck_links = (topo.bottleneck_fwd,
                                       topo.bottleneck_rev)
         else:
             topo = IndependentPathsTopology(
-                self.sim, [p.bottleneck for p in paths])
+                self.sim, [p.bottleneck for p in paths],
+                queue_discipline=queue_discipline)
             bg_paths = list(paths)
             self._bottlenecks = [h.bottleneck_fwd for h in topo.paths]
             self._bottleneck_links = tuple(

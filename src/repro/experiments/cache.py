@@ -48,7 +48,10 @@ if TYPE_CHECKING:  # pragma: no cover
 #: (repro-lint RL004 checks key completeness against them) and the
 #: ``mc_kernel`` getattr replaced by a field read; the payload bytes
 #: are unchanged, bumped conservatively per the RL004 diff policy.
-CODE_VERSION = 4
+#: v5: ``Setting`` grew the ``queue_discipline`` axis (bottleneck AQM);
+#: run keys now carry it, so pre-AQM records — implicitly drop-tail —
+#: are never read back under a different discipline.
+CODE_VERSION = 5
 
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 ENV_CACHE = "REPRO_CACHE"
@@ -117,6 +120,7 @@ class ResultCache:
                 "configs": list(setting.configs),
                 "mu": setting.mu,
                 "shared_bottleneck": setting.shared_bottleneck,
+                "queue_discipline": setting.queue_discipline,
             },
             "duration_s": spec.duration_s,
             "scheme": spec.scheme,

@@ -27,6 +27,7 @@ Scale profiles (also via $REPRO_SCALE): quick (default), full, paper.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 import time
 
@@ -38,17 +39,21 @@ from repro.experiments.figures import BUILDERS
 from repro.experiments.report import save_output
 from repro.experiments.runner import scale_profile
 from repro.model import mc_kernel
+from repro.sim.queueing import QUEUE_DISCIPLINES
 
 
 def _run_trace(args) -> int:
     """Run one instrumented session and report what the bus saw."""
     from repro.core.session import StreamingSession
 
-    setting = ALL_SETTINGS[args.setting]
+    setting = dataclasses.replace(
+        ALL_SETTINGS[args.setting],
+        queue_discipline=args.queue_discipline)
     session = StreamingSession(
         mu=setting.mu, duration_s=args.duration,
         paths=setting.path_configs(), scheme=args.scheme,
-        shared_bottleneck=setting.shared_bottleneck, seed=args.seed)
+        shared_bottleneck=setting.shared_bottleneck, seed=args.seed,
+        queue_discipline=setting.queue_discipline)
     counters = session.attach_counters()
     jsonl = session.attach_jsonl(args.trace_out) \
         if args.trace_out else None
@@ -69,6 +74,7 @@ def _run_trace(args) -> int:
             rows = sampler.to_csv(handle)
         print(f"[wrote {rows} samples to {args.timeseries}]")
     print(f"setting {setting.name} scheme={args.scheme} "
+          f"queue={setting.queue_discipline} "
           f"seed={args.seed} duration={args.duration:g}s "
           f"({elapsed:.1f}s wall)")
     print(f"delivered {len(result.arrivals)} "
@@ -128,6 +134,10 @@ def main(argv=None) -> int:
     group.add_argument(
         "--scheme", choices=["dmp", "static"], default="dmp",
         help="streaming scheme (default: dmp)")
+    group.add_argument(
+        "--queue-discipline", choices=list(QUEUE_DISCIPLINES),
+        default="droptail",
+        help="bottleneck queue discipline (default: droptail)")
     group.add_argument(
         "--seed", type=int, default=1,
         help="simulation seed (default: 1)")

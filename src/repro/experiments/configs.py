@@ -76,12 +76,15 @@ class Setting:
 
     ``name`` follows the paper ("1-2" pairs configs 1 and 2 on
     independent paths; "2" is the correlated-paths Setting 2).
+    ``queue_discipline`` selects the bottleneck AQM (the paper's
+    drop-tail by default; see ``repro.sim.queueing.QUEUE_DISCIPLINES``).
     """
 
     name: str
     configs: Tuple[int, ...]
     mu: float
     shared_bottleneck: bool = False
+    queue_discipline: str = "droptail"
 
     def path_configs(self,
                      table: Optional[Dict[int, LinkConfig]] = None) \

@@ -108,7 +108,8 @@ def simulate_run(spec: RunSpec) -> Dict[str, Any]:
             mu=spec.setting.mu, duration_s=spec.duration_s,
             paths=spec.setting.path_configs(), scheme=spec.scheme,
             shared_bottleneck=spec.setting.shared_bottleneck,
-            seed=spec.seed, send_buffer_pkts=spec.send_buffer_pkts)
+            seed=spec.seed, send_buffer_pkts=spec.send_buffer_pkts,
+            queue_discipline=spec.setting.queue_discipline)
         counters = session.attach_counters() if spec.counters else None
         result = session.run()
         taus: Dict[str, List[float]] = {}

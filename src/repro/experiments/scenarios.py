@@ -31,6 +31,7 @@ import json
 from typing import Any, Dict
 
 from repro.core.session import PathConfig, StreamingSession
+from repro.sim.queueing import QUEUE_DISCIPLINES
 from repro.sim.topology import BottleneckSpec
 
 REQUIRED_KEYS = ("mu", "duration_s", "paths")
@@ -38,7 +39,7 @@ KNOWN_KEYS = {
     "mu", "duration_s", "paths", "scheme", "tcp_variant", "seed",
     "taus", "shared_bottleneck", "send_buffer_pkts", "segment_bytes",
     "warmup_s", "static_weights", "client_buffer_pkts", "client_tau",
-    "name",
+    "name", "queue_discipline",
 }
 PATH_KEYS = {"bandwidth_mbps", "delay_ms", "buffer_pkts", "ftp_flows",
              "http_flows"}
@@ -99,6 +100,10 @@ def validate_scenario(scenario: Dict[str, Any]) -> None:
     taus = scenario.get("taus", DEFAULT_TAUS)
     if any(float(t) < 0 for t in taus):
         _fail("taus must be non-negative")
+    discipline = scenario.get("queue_discipline", "droptail")
+    if discipline not in QUEUE_DISCIPLINES:
+        _fail(f"unknown queue_discipline: {discipline!r} "
+              f"(choose from {sorted(QUEUE_DISCIPLINES)})")
 
 
 def build_session(scenario: Dict[str, Any]) -> StreamingSession:
@@ -109,7 +114,8 @@ def build_session(scenario: Dict[str, Any]) -> StreamingSession:
     kwargs: Dict[str, Any] = {}
     for key in ("scheme", "tcp_variant", "seed", "shared_bottleneck",
                 "send_buffer_pkts", "segment_bytes", "warmup_s",
-                "static_weights", "client_buffer_pkts", "client_tau"):
+                "static_weights", "client_buffer_pkts", "client_tau",
+                "queue_discipline"):
         if key in scenario:
             kwargs[key] = scenario[key]
     return StreamingSession(

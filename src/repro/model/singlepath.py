@@ -9,7 +9,7 @@ evaluated with the single-path model.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from typing import List, Optional, Sequence, Union
 
 from repro.model.dmp_model import DmpModel, LateFractionEstimate
 from repro.model.tcp_chain import FlowParams, TcpFlowChain
@@ -20,7 +20,7 @@ FlowLike = Union[FlowParams, TcpFlowChain]
 class SinglePathModel(DmpModel):
     """Analytical model of single-path TCP live streaming (K = 1)."""
 
-    def __init__(self, flow: FlowLike, mu: float, tau: float):
+    def __init__(self, flow: FlowLike, mu: float, tau: float) -> None:
         super().__init__([flow], mu, tau)
 
 
@@ -46,12 +46,12 @@ def static_late_fraction(flows: Sequence[FlowLike], mu: float,
     if len(weights) != k or any(w <= 0 for w in weights):
         raise ValueError("need one positive weight per path")
     total = float(sum(weights))
-    weights = [w / total for w in weights]
+    norm: List[float] = [float(w) / total for w in weights]
 
     late = 0.0
     var = 0.0
     kernel = "legacy"
-    for flow, weight in zip(flows, weights):
+    for flow, weight in zip(flows, norm):
         model = SinglePathModel(flow, mu=weight * mu, tau=tau)
         estimate = model.late_fraction_mc(horizon_s=horizon_s,
                                           seed=seed,
@@ -61,5 +61,5 @@ def static_late_fraction(flows: Sequence[FlowLike], mu: float,
         var += (weight * estimate.stderr) ** 2
     return LateFractionEstimate(
         late_fraction=late, stderr=var ** 0.5, horizon_s=horizon_s,
-        method="static-mc", path_shares=tuple(weights),
+        method="static-mc", path_shares=tuple(norm),
         kernel=kernel)

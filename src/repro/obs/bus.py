@@ -37,6 +37,9 @@ SCHEMA: Dict[str, Tuple[str, ...]] = {
     "link.drop": ("link", "packet", "qlen"),
     "link.send": ("link", "packet"),
     "link.recv": ("link", "packet"),
+    # AQM (PIE family): controller ticks and early (non-overflow) drops
+    "queue.pie.prob_update": ("queue", "prob", "qdelay", "burst"),
+    "queue.pie.drop": ("queue", "prob", "qlen"),
     # TCP senders
     "tcp.cwnd": ("flow", "cwnd", "ssthresh"),
     "tcp.timeout": ("flow", "rto", "backoff"),

@@ -16,14 +16,34 @@ path; agents may bind to several interfaces at once.  Access links are
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Tuple
 
 from repro.sim.engine import Simulator
 from repro.sim.link import Link, duplex_link
 from repro.sim.node import Node
+from repro.sim.queueing import make_queue
 
 ACCESS_BANDWIDTH_BPS = 100e6
 ACCESS_DELAY_S = 0.010
+
+
+def _bottleneck_pair(sim: Simulator, r_in: Node, r_out: Node,
+                     spec: "BottleneckSpec",
+                     discipline: str) -> Tuple[Link, Link]:
+    """Build the fwd/rev bottleneck links under one queue discipline.
+
+    The queue factory is fed the simulator's seeded RNG and clock so
+    AQM drop decisions stay a pure function of the experiment seed.
+    """
+    links = []
+    for src, dst in ((r_in, r_out), (r_out, r_in)):
+        name = f"{src.name}->{dst.name}"
+        queue = make_queue(discipline, spec.buffer_pkts,
+                           rng=sim.rng, clock=lambda: sim.now,
+                           bus=sim.bus, name=name)
+        links.append(Link(sim, src, dst, spec.bandwidth_bps,
+                          spec.delay_s, spec.buffer_pkts, queue=queue))
+    return links[0], links[1]
 
 
 @dataclass
@@ -54,10 +74,12 @@ class IndependentPathsTopology:
     """The Fig. 3 topology with K independent bottleneck paths."""
 
     def __init__(self, sim: Simulator,
-                 specs: List[BottleneckSpec]) -> None:
+                 specs: List[BottleneckSpec],
+                 queue_discipline: str = "droptail") -> None:
         if not specs:
             raise ValueError("need at least one path spec")
         self.sim = sim
+        self.queue_discipline = queue_discipline
         self.server = Node(sim, "server")
         self.paths: List[PathHandles] = []
         for k, spec in enumerate(specs, start=1):
@@ -86,10 +108,8 @@ class IndependentPathsTopology:
             ACCESS_DELAY_S, queue_limit_pkts=1000)
 
         # The bottleneck itself (observable via the link.* probes).
-        fwd = Link(sim, r_in, r_out, spec.bandwidth_bps, spec.delay_s,
-                   spec.buffer_pkts)
-        rev = Link(sim, r_out, r_in, spec.bandwidth_bps, spec.delay_s,
-                   spec.buffer_pkts)
+        fwd, rev = _bottleneck_pair(sim, r_in, r_out, spec,
+                                    self.queue_discipline)
         r_in.add_route(r_out.name, fwd)
         r_out.add_route(r_in.name, rev)
 
@@ -114,8 +134,10 @@ class SharedBottleneckTopology:
     """The Fig. 6 topology: every flow crosses the same bottleneck."""
 
     def __init__(self, sim: Simulator, spec: BottleneckSpec,
-                 n_paths: int = 2) -> None:
+                 n_paths: int = 2,
+                 queue_discipline: str = "droptail") -> None:
         self.sim = sim
+        self.queue_discipline = queue_discipline
         self.server = Node(sim, "server")
         self.client = Node(sim, "client")
         r1 = Node(sim, "r1")
@@ -136,10 +158,8 @@ class SharedBottleneckTopology:
             sim, r2, bg_sink, ACCESS_BANDWIDTH_BPS,
             ACCESS_DELAY_S, queue_limit_pkts=1000)
 
-        fwd = Link(sim, r1, r2, spec.bandwidth_bps, spec.delay_s,
-                   spec.buffer_pkts)
-        rev = Link(sim, r2, r1, spec.bandwidth_bps, spec.delay_s,
-                   spec.buffer_pkts)
+        fwd, rev = _bottleneck_pair(sim, r1, r2, spec,
+                                    queue_discipline)
         r1.add_route(r2.name, fwd)
         r2.add_route(r1.name, rev)
 

@@ -77,6 +77,8 @@ def test_run_key_sensitive_to_every_field(cache):
         _spec(setting=Setting("4-4", (4, 4), mu=81)),
         _spec(setting=Setting("4-4", (4, 4), mu=80,
                               shared_bottleneck=True)),
+        _spec(setting=Setting("4-4", (4, 4), mu=80,
+                              queue_discipline="pie")),
         _spec(duration_s=41.0),
         _spec(scheme="static"),
         _spec(seed=8),
@@ -85,6 +87,27 @@ def test_run_key_sensitive_to_every_field(cache):
     keys = {cache.run_key(spec) for spec in variants}
     keys.add(cache.run_key(base))
     assert len(keys) == len(variants) + 1  # all distinct
+
+
+def test_run_key_separates_queue_disciplines(cache):
+    """Every AQM variant of one setting gets its own sha256 key."""
+    keys = {cache.run_key(_spec(setting=dataclasses.replace(
+        SETTING, queue_discipline=d)))
+        for d in ("droptail", "red", "pie", "fq-pie")}
+    assert len(keys) == 4
+    payload = cache.run_key_payload(_spec())
+    assert payload["setting"]["queue_discipline"] == "droptail"
+
+
+def test_queue_discipline_axis_forced_a_version_bump():
+    """Growing the key material (v5) upgrades old records.
+
+    Records written before the axis existed carried version <= 4
+    keys; the bump means they are never read back under the new
+    semantics — an implicit-droptail record can't be served for any
+    discipline.
+    """
+    assert CODE_VERSION >= 5
 
 
 def test_run_key_ignores_taus(cache):

@@ -61,6 +61,21 @@ def test_cli_workers_and_cache_flags(tmp_path, capsys):
         cli.main(["sec73", "--workers", "0"])
 
 
+def test_cli_queue_discipline_round_trip(capsys):
+    """--queue-discipline reaches the session and echoes back."""
+    assert cli.main(["trace", "--setting", "2-2", "--seed", "2",
+                     "--duration", "2",
+                     "--queue-discipline", "pie"]) == 0
+    out = capsys.readouterr().out
+    assert "queue=pie" in out
+    # Default remains drop-tail; unknown disciplines die in argparse.
+    assert cli.main(["trace", "--setting", "2-2", "--seed", "2",
+                     "--duration", "2"]) == 0
+    assert "queue=droptail" in capsys.readouterr().out
+    with pytest.raises(SystemExit):
+        cli.main(["trace", "--queue-discipline", "codel"])
+
+
 def test_cli_reports_cache_stats(tmp_path, capsys):
     assert cli.main(["sec73", "--cache-dir", str(tmp_path)]) == 0
     out = capsys.readouterr().out

@@ -71,6 +71,29 @@ def test_build_session_wires_everything():
     assert session.scheme == "dmp"
 
 
+def test_unknown_queue_discipline_rejected():
+    with pytest.raises(ScenarioError, match="queue_discipline"):
+        validate_scenario(dict(GOOD, queue_discipline="codel"))
+    with pytest.raises(ScenarioError, match="queue_discipline"):
+        validate_scenario(dict(GOOD, queue_discipline=None))
+
+
+def test_queue_discipline_reaches_the_bottleneck():
+    from repro.sim.queueing import FQPIEQueue, PIEQueue
+
+    session = build_session(dict(GOOD, queue_discipline="pie"))
+    assert session.queue_discipline == "pie"
+    for handles in session.topology.paths:
+        assert isinstance(handles.bottleneck_fwd.queue, PIEQueue)
+        assert isinstance(handles.bottleneck_rev.queue, PIEQueue)
+    session = build_session(dict(GOOD, queue_discipline="fq-pie"))
+    assert isinstance(
+        session.topology.paths[0].bottleneck_fwd.queue, FQPIEQueue)
+    # The default stays the paper's drop-tail.
+    session = build_session(GOOD)
+    assert session.queue_discipline == "droptail"
+
+
 def test_run_scenario_summary():
     summary = run_scenario(GOOD)
     assert summary["total_packets"] == 800
