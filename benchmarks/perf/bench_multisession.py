@@ -1,0 +1,73 @@
+"""Multi-session campaign benchmark: events/sec vs session count.
+
+Runs one staggered-start campaign per session count N over a shared
+drop-tail bottleneck (packet pool and batched link service on — the
+configuration campaigns run with) and reports the engine event rate
+at each N.  The shape of this curve is the multi-session refactor's
+deliverable: per-event cost must stay roughly flat as N grows, i.e.
+events/sec at N=200 must hold within 3x of the N=10 rate
+(``tools/perf_track`` gates exactly that, within one report, on any
+machine).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.campaign import MultiSessionCampaign
+from repro.sim.topology import BottleneckSpec
+
+SESSION_COUNTS = (1, 10, 50, 200)
+MU = 25.0
+SEED = 1
+WARMUP_S = 5.0
+STAGGER_S = 0.05
+SERVICE_BATCH = 8
+
+#: 50 Mbps shared bottleneck: ~60 Mbps of offered video load at
+#: N=200 (2 paths x 25 pkt/s x 1500 B each), so the largest point
+#: runs congested — the regime campaigns exist to measure.
+SPEC = BottleneckSpec(bandwidth_bps=50e6, delay_s=0.01,
+                      buffer_pkts=250)
+
+MODES = {
+    "quick": {"duration_s": 8.0},
+    "full": {"duration_s": 20.0},
+}
+
+
+def run(mode: str) -> dict:
+    duration_s = MODES[mode]["duration_s"]
+    points = []
+    by_n = {}
+    for n_sessions in SESSION_COUNTS:
+        campaign = MultiSessionCampaign(
+            mu=MU, duration_s=duration_s, n_sessions=n_sessions,
+            bottleneck=SPEC, paths_per_session=2,
+            queue_discipline="droptail", seed=SEED,
+            stagger_s=STAGGER_S, warmup_s=WARMUP_S,
+            service_batch=SERVICE_BATCH)
+        started = time.perf_counter()
+        result = campaign.run(drain_s=10.0)
+        elapsed = time.perf_counter() - started
+        events = result.events_processed
+        delivered = sum(s.received for s in result.sessions)
+        total = sum(s.total_packets for s in result.sessions)
+        rate = events / elapsed
+        points.append({
+            "n_sessions": n_sessions,
+            "events": events,
+            "seconds": elapsed,
+            "events_per_second": rate,
+            "delivered_packets": delivered,
+            "total_packets": total,
+        })
+        by_n[str(n_sessions)] = rate
+    return {
+        "config": {"mu": MU, "seed": SEED, "duration_s": duration_s,
+                   "counts": list(SESSION_COUNTS),
+                   "service_batch": SERVICE_BATCH,
+                   "queue_discipline": "droptail"},
+        "points": points,
+        "events_per_second_by_n": by_n,
+    }

@@ -6,14 +6,17 @@ Usage (from the repository root)::
     PYTHONPATH=src python benchmarks/perf/run.py --mode full
     PYTHONPATH=src python benchmarks/perf/run.py -o /tmp/b.json
 
-Three microbenchmarks are timed:
+Four microbenchmarks are timed:
 
-* ``mc_kernel``   — legacy vs vectorized stationary MC solves on the
+* ``mc_kernel``    — legacy vs vectorized stationary MC solves on the
   Fig 8 ratio-sweep grid; the headline is the aggregate speedup.
-* ``packet_sim``  — discrete-event engine step rate on one streaming
+* ``packet_sim``   — discrete-event engine step rate on one streaming
   session of the 2-2 validation setting.
-* ``chain_build`` — TcpFlowChain construction and vectorized-table
+* ``chain_build``  — TcpFlowChain construction and vectorized-table
   compilation time.
+* ``multisession`` — engine event rate on N-session campaigns
+  (N = 1, 10, 50, 200) over one shared bottleneck; the scaling curve
+  of the multi-session refactor.
 
 The output JSON (default: ``BENCH_perf.json`` at the repository root)
 carries machine and library-version metadata so numbers from different
@@ -67,12 +70,14 @@ def run_benchmarks(mode: str) -> dict:
     from benchmarks.perf import (
         bench_chain_build,
         bench_mc_kernel,
+        bench_multisession,
         bench_packet_sim,
     )
     return {
         "mc_kernel": bench_mc_kernel.run(mode),
         "packet_sim": bench_packet_sim.run(mode),
         "chain_build": bench_chain_build.run(mode),
+        "multisession": bench_multisession.run(mode),
     }
 
 
@@ -128,6 +133,14 @@ def main(argv=None) -> int:
           f"{build['chain_build_seconds'] * 1e3:.1f}ms, "
           f"2-flow compile in "
           f"{build['compile_seconds'] * 1e3:.2f}ms")
+    multi = results["multisession"]
+    for point in multi["points"]:
+        print(f"[multisession] N={point['n_sessions']:<3} "
+              f"{point['events']} events in "
+              f"{point['seconds']:.2f}s -> "
+              f"{point['events_per_second']:,.0f} events/s "
+              f"({point['delivered_packets']}/"
+              f"{point['total_packets']} delivered)")
     print(f"[wrote {args.output}]")
     return 0
 

@@ -8,6 +8,12 @@ connections using either the paper's Dynamic MPath-streaming scheme
 late-packet metrics for any startup delay.
 """
 
+from repro.core.assembly import SessionAssembly
+from repro.core.campaign import (
+    CampaignResult,
+    MultiSessionCampaign,
+    SessionSummary,
+)
 from repro.core.client import StreamClient
 from repro.core.metrics import (
     GlitchStats,
@@ -28,6 +34,10 @@ from repro.core.streamers import (
 )
 
 __all__ = [
+    "SessionAssembly",
+    "MultiSessionCampaign",
+    "CampaignResult",
+    "SessionSummary",
     "VideoPacket",
     "ServerQueue",
     "VideoSource",

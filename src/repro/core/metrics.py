@@ -76,6 +76,26 @@ def arrival_order_late_fraction(arrivals: Arrivals, mu: float,
     return late / len(times) if times else 0.0
 
 
+def quantile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated quantile of ``values`` at ``q`` in [0, 1].
+
+    Matches numpy's default ("linear") method: the quantile sits at
+    fractional rank ``q * (n - 1)`` of the sorted sample.  Campaigns
+    use this for population percentiles (p50/p95/p99 of per-session
+    late fractions) without pulling numpy into the core layer.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1]: {q}")
+    if not values:
+        raise ValueError("quantile of an empty sequence")
+    ordered = sorted(values)
+    position = q * (len(ordered) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = position - lower
+    return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
+
+
 def reordering_stats(arrivals: Arrivals) -> Tuple[int, int]:
     """(count, max depth) of out-of-order arrivals.
 

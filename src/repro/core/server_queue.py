@@ -11,10 +11,13 @@ when it blocks or the queue empties.
 from __future__ import annotations
 
 from collections import deque
-from typing import Optional
+from typing import TYPE_CHECKING, Deque, Optional
 
 from repro.core.packets import VideoPacket
 from repro.obs.bus import NULL_PROBE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
 
 
 class ServerQueue:
@@ -26,8 +29,8 @@ class ServerQueue:
     keeps unit-test construction trivial.
     """
 
-    def __init__(self, sim=None):
-        self._queue: deque = deque()
+    def __init__(self, sim: Optional["Simulator"] = None) -> None:
+        self._queue: Deque[VideoPacket] = deque()
         self._locked_by: Optional[object] = None
         self.enqueued = 0
         self.fetched = 0
@@ -49,7 +52,10 @@ class ServerQueue:
         self.enqueued += 1
         if len(self._queue) > self.max_depth:
             self.max_depth = len(self._queue)
-        if self._p_push.active:
+        # A NULL_PROBE (sim-less queue) is never active, so the extra
+        # None check only narrows the type — it cannot change control
+        # flow.
+        if self._p_push.active and self._sim is not None:
             self._p_push.emit(self._sim.now, len(self._queue))
 
     # ------------------------------------------------------------------
@@ -76,7 +82,7 @@ class ServerQueue:
             return None
         self.fetched += 1
         packet = self._queue.popleft()
-        if self._p_fetch.active:
+        if self._p_fetch.active and self._sim is not None:
             self._p_fetch.emit(self._sim.now,
                                getattr(owner, "name", repr(owner)),
                                len(self._queue))

@@ -13,16 +13,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from repro.core.client import BufferedStreamClient, StreamClient
+from repro.core.assembly import SessionAssembly
+from repro.core.client import BufferedStreamClient
 from repro.core.metrics import (
     GlitchStats,
     PlaybackMetrics,
     glitch_statistics,
     playback_metrics,
 )
-from repro.core.server_queue import ServerQueue
-from repro.core.source import VideoSource
-from repro.core.streamers import DmpStreamer, StaticStreamer
 from repro.obs.bus import EventBus
 from repro.obs.sampler import TimeSeriesSampler
 from repro.obs.sinks import CountersSink, JsonlSink, TraceSink
@@ -34,7 +32,6 @@ from repro.sim.topology import (
     SharedBottleneckTopology,
 )
 from repro.sim.trace import PacketTrace
-from repro.tcp.socket import TcpConnection
 from repro.traffic.ftp import FtpFlow
 from repro.traffic.http import HttpFlow
 
@@ -149,44 +146,24 @@ class StreamingSession:
                     handles.bg_sink_host, segment_bytes=segment_bytes,
                     start_at=start, name=f"http{handles.index}.{i}"))
 
-        # --- video connections + client -------------------------------
-        # A finite client playout buffer (the [16] scenario) fixes the
-        # startup delay up front and back-pressures the senders via
-        # TCP flow control; the default is the paper's unlimited one.
-        if client_buffer_pkts is not None:
-            self.client = BufferedStreamClient(
-                self.sim, mu=mu, tau=client_tau,
-                capacity=client_buffer_pkts, stream_start=warmup_s)
-            window_provider = self.client.window
-        else:
-            self.client = StreamClient(sim=self.sim)
-            window_provider = None
-        self.connections: List[TcpConnection] = []
-        for k, handles in enumerate(topo.paths[:len(paths)], start=1):
-            conn = TcpConnection(
-                self.sim, handles.server_if, handles.client_if,
-                segment_bytes=segment_bytes,
-                send_buffer_pkts=send_buffer_pkts,
-                on_deliver=self.client.deliver_callback(f"path{k}"),
-                window_provider=window_provider,
-                name=f"video{k}", variant=tcp_variant)
-            self.connections.append(conn)
-
-        # --- streamer + source -----------------------------------------
-        if scheme == "static":
-            self.streamer = StaticStreamer(
-                self.sim, self.connections, weights=static_weights)
-            self.queue = None
-        else:
-            self.queue = ServerQueue(sim=self.sim)
-            self.streamer = DmpStreamer(
-                self.sim, self.connections, queue=self.queue)
-        # The static scheme routes straight from generation events and
-        # keeps per-path queues, so it takes no shared server queue.
-        self.source = VideoSource(
-            self.sim, self.queue, mu=mu, duration_s=duration_s,
-            start_at=warmup_s)
-        self.streamer.attach_source(self.source)
+        # --- endpoints (client / connections / streamer / source) -----
+        # Delegated to the reusable per-session assembly; the default
+        # empty label keeps flow and path names ("video1", "path1")
+        # identical to the pre-refactor inline construction, so golden
+        # traces are unaffected.
+        self.assembly = SessionAssembly(
+            self.sim, topo.paths[:len(paths)], mu=mu,
+            duration_s=duration_s, scheme=scheme,
+            segment_bytes=segment_bytes,
+            send_buffer_pkts=send_buffer_pkts, start_at=warmup_s,
+            static_weights=static_weights, tcp_variant=tcp_variant,
+            client_buffer_pkts=client_buffer_pkts,
+            client_tau=client_tau)
+        self.client = self.assembly.client
+        self.connections = self.assembly.connections
+        self.streamer = self.assembly.streamer
+        self.queue = self.assembly.queue
+        self.source = self.assembly.source
 
     # --- observability -------------------------------------------------
     @property

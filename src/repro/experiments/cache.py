@@ -51,7 +51,11 @@ if TYPE_CHECKING:  # pragma: no cover
 #: v5: ``Setting`` grew the ``queue_discipline`` axis (bottleneck AQM);
 #: run keys now carry it, so pre-AQM records — implicitly drop-tail —
 #: are never read back under a different discipline.
-CODE_VERSION = 5
+#: v6: ``Setting`` grew the multi-session campaign axes
+#: (``n_sessions``, ``churn_rate``); run keys carry both, and campaign
+#: records additionally store per-session late fractions under
+#: ``sessions`` (coverage re-checked on read like ``taus``).
+CODE_VERSION = 6
 
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 ENV_CACHE = "REPRO_CACHE"
@@ -121,6 +125,8 @@ class ResultCache:
                 "mu": setting.mu,
                 "shared_bottleneck": setting.shared_bottleneck,
                 "queue_discipline": setting.queue_discipline,
+                "n_sessions": setting.n_sessions,
+                "churn_rate": setting.churn_rate,
             },
             "duration_s": spec.duration_s,
             "scheme": spec.scheme,
@@ -171,6 +177,16 @@ class ResultCache:
                 and not isinstance(record.get("counters"), dict):
             self._miss("run")
             return None
+        # Campaign records (n_sessions > 1) additionally carry the
+        # per-session late-fraction lists; require the same tau
+        # coverage there so population quantiles never silently fall
+        # back to a partial record.
+        if spec.setting.n_sessions > 1:
+            sessions = record.get("sessions")
+            if not isinstance(sessions, dict) or any(
+                    tau_key(tau) not in sessions for tau in spec.taus):
+                self._miss("run")
+                return None
         self._hit("run")
         return record
 
@@ -188,6 +204,12 @@ class ResultCache:
             if "counters" not in record \
                     and isinstance(previous.get("counters"), dict):
                 record["counters"] = previous["counters"]
+            # Campaign per-session lists accumulate across invocations
+            # exactly like taus.
+            if isinstance(previous.get("sessions"), dict):
+                sessions = dict(previous["sessions"])
+                sessions.update(record.get("sessions", {}))
+                record["sessions"] = sessions
         self._write(key, record, "run")
 
     # -- model records -------------------------------------------------

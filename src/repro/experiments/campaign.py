@@ -1,0 +1,148 @@
+"""Replicated multi-session campaigns and their population metrics.
+
+:func:`run_campaign` is the campaign counterpart of
+:func:`repro.experiments.runner.run_setting`: it fans the replications
+of a multi-session :class:`~repro.experiments.configs.Setting`
+(``n_sessions > 1``) over the same
+:class:`~repro.experiments.parallel.ReplicationExecutor` and result
+cache, but aggregates *population* metrics — the distribution of
+per-session late fractions pooled across every session of every
+replication — instead of fitting the per-path model (which has no
+population analogue).
+
+Each replication is one whole
+:class:`~repro.core.campaign.MultiSessionCampaign` run (see
+:func:`repro.experiments.parallel.simulate_run`'s campaign dispatch),
+seeded ``seed0 + run``, so serial and parallel execution are
+bit-identical and records are reusable across invocations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro import telemetry
+from repro.core.metrics import quantile
+from repro.experiments.cache import ResultCache, resolve_cache, tau_key
+from repro.experiments.configs import Setting
+from repro.experiments.parallel import ReplicationExecutor, RunSpec
+from repro.experiments.runner import (
+    DEFAULT_TAUS,
+    ScaleProfile,
+    _mean_ci95,
+    scale_profile,
+)
+
+
+@dataclass
+class CampaignPoint:
+    """Population late-fraction distribution at one startup delay.
+
+    Quantiles pool the per-session late fractions across every session
+    of every replication; ``mean``/``ci95`` are over the per-replication
+    population means (the replication is the independent unit).
+    """
+
+    tau: float
+    mean: float
+    ci95: float
+    p50: float
+    p95: float
+    p99: float
+    worst: float
+
+
+@dataclass
+class CampaignRun:
+    """Everything measured for one replicated campaign setting."""
+
+    setting: Setting
+    profile: ScaleProfile
+    scheme: str
+    points: List[CampaignPoint]
+    #: tau -> per-replication lists of per-session late fractions.
+    per_run_sessions: Dict[float, List[List[float]]]
+
+    def point(self, tau: float) -> CampaignPoint:
+        for pt in self.points:
+            if pt.tau == tau:
+                return pt
+        raise KeyError(f"no point at tau={tau}")
+
+
+def run_campaign(setting: Setting,
+                 taus: Sequence[float] = DEFAULT_TAUS,
+                 profile: Optional[ScaleProfile] = None,
+                 scheme: str = "dmp",
+                 seed0: int = 1000,
+                 send_buffer_pkts: int = 16,
+                 max_workers: Optional[int] = None,
+                 cache: Union[ResultCache, bool, None] = None,
+                 executor: Optional[ReplicationExecutor] = None) \
+        -> CampaignRun:
+    """Run one multi-session campaign setting, replicated per profile.
+
+    ``setting.n_sessions`` concurrent sessions share one fan-in
+    bottleneck per replication; ``setting.churn_rate`` picks staggered
+    (0) or Poisson-churn (> 0) session starts.  Replications fan out
+    over the executor exactly like single-session settings and reuse
+    the same cache records (keyed on the campaign axes via
+    ``CODE_VERSION`` 6 payloads).
+    """
+    if setting.n_sessions < 2:
+        raise ValueError(
+            f"setting {setting.name!r} has n_sessions="
+            f"{setting.n_sessions}; use run_setting for single-session "
+            "validation")
+    if profile is None:
+        profile = scale_profile()
+    if executor is None:
+        executor = ReplicationExecutor(max_workers=max_workers)
+    tel = telemetry.current()
+    with tel.span("campaign", label=setting.name, scheme=scheme,
+                  profile=profile.name, runs=profile.runs,
+                  sessions=setting.n_sessions):
+        resolved = resolve_cache(cache)
+
+        float_taus = [float(tau) for tau in taus]
+        specs = [RunSpec(setting=setting,
+                         duration_s=profile.duration_s,
+                         scheme=scheme, seed=seed0 + run,
+                         send_buffer_pkts=send_buffer_pkts,
+                         taus=tuple(float_taus))
+                 for run in range(profile.runs)]
+        records: List[Optional[dict]] = [
+            resolved.get_run(spec) if resolved else None
+            for spec in specs]
+        missing = [idx for idx, rec in enumerate(records)
+                   if rec is None]
+        fresh = executor.run_replications(
+            [specs[idx] for idx in missing])
+        for idx, record in zip(missing, fresh):
+            records[idx] = record
+            if resolved:
+                resolved.put_run(specs[idx], record)
+
+        per_run_sessions: Dict[float, List[List[float]]] = {
+            tau: [list(rec["sessions"][tau_key(tau)])
+                  for rec in records if rec is not None]
+            for tau in float_taus}
+
+        points: List[CampaignPoint] = []
+        for tau in float_taus:
+            replications = per_run_sessions[tau]
+            pooled = [fraction for rep in replications
+                      for fraction in rep]
+            rep_means = [sum(rep) / len(rep) for rep in replications]
+            mean, ci = _mean_ci95(rep_means)
+            points.append(CampaignPoint(
+                tau=tau, mean=mean, ci95=ci,
+                p50=quantile(pooled, 0.5),
+                p95=quantile(pooled, 0.95),
+                p99=quantile(pooled, 0.99),
+                worst=max(pooled)))
+
+        return CampaignRun(
+            setting=setting, profile=profile, scheme=scheme,
+            points=points, per_run_sessions=per_run_sessions)

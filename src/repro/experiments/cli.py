@@ -12,6 +12,11 @@ Run one fully instrumented session (the observability bus):
     python -m repro.experiments.cli trace --setting 2-2 --seed 7 \\
         --duration 60 --trace-out events.jsonl --timeseries curves.csv
 
+Run a multi-session campaign (N concurrent sessions, one bottleneck):
+
+    python -m repro.experiments.cli campaign --sessions 50 \\
+        --churn 0.5 --queue-discipline red --duration 60
+
 Builder targets run under a campaign telemetry session
 (:mod:`repro.telemetry`): a summary table prints at the end of every
 run (disable with --no-telemetry-summary), ``--telemetry-out``
@@ -85,6 +90,61 @@ def _run_trace(args) -> int:
     return 0
 
 
+def _run_campaign(args) -> int:
+    """Run one multi-session campaign and report population metrics."""
+    from repro.core.campaign import MultiSessionCampaign
+
+    setting = dataclasses.replace(
+        ALL_SETTINGS[args.setting],
+        queue_discipline=args.queue_discipline)
+    path = setting.path_configs()[0]
+    campaign = MultiSessionCampaign(
+        mu=setting.mu, duration_s=args.duration,
+        n_sessions=args.sessions,
+        bottleneck=path.bottleneck,
+        paths_per_session=len(setting.configs),
+        scheme=args.scheme,
+        queue_discipline=setting.queue_discipline,
+        seed=args.seed, churn_rate=args.churn,
+        n_ftp=path.n_ftp, n_http=path.n_http,
+        service_batch=args.service_batch)
+    counters = campaign.attach_counters()
+    jsonl = campaign.attach_jsonl(args.trace_out) \
+        if args.trace_out else None
+
+    started = time.time()  # repro-lint: disable=RL001 -- progress timer
+    result = campaign.run()
+    elapsed = time.time() - started  # repro-lint: disable=RL001 -- progress timer
+
+    if jsonl is not None:
+        jsonl.close()
+        print(f"[wrote {jsonl.lines_written} events to "
+              f"{args.trace_out}]")
+    arrival = (f"churn rate {args.churn:g}/s" if args.churn > 0
+               else "staggered starts")
+    rate = result.events_processed / elapsed if elapsed > 0 \
+        else float("inf")
+    print(f"campaign setting {setting.name} scheme={args.scheme} "
+          f"queue={setting.queue_discipline} seed={args.seed} "
+          f"sessions={args.sessions} ({arrival}) "
+          f"duration={args.duration:g}s")
+    print(f"{result.events_processed} events in {elapsed:.1f}s wall "
+          f"({rate:,.0f} events/s)")
+    received = sum(s.received for s in result.sessions)
+    total = sum(s.total_packets for s in result.sessions)
+    print(f"delivered {received} of {total} packets across "
+          f"{result.n_sessions} sessions; bottleneck drop fraction "
+          f"{result.bottleneck_drop_fraction:.4f}")
+    print("late fraction across sessions (tau: mean/p50/p95/p99):")
+    for tau in (4.0, 6.0, 8.0, 10.0):
+        pop = result.population(tau)
+        print(f"  {tau:g}s: {pop['mean']:.4f} / {pop['p50']:.4f} / "
+              f"{pop['p95']:.4f} / {pop['p99']:.4f}")
+    print("probe event counts:")
+    print(counters.summary())
+    return 0
+
+
 def main(argv=None) -> int:
     """Entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -92,9 +152,11 @@ def main(argv=None) -> int:
         description="Regenerate the paper's tables and figures.")
     parser.add_argument(
         "target",
-        choices=sorted(BUILDERS) + ["all", "list", "trace"],
+        choices=sorted(BUILDERS) + ["all", "list", "trace",
+                                    "campaign"],
         help="which artefact to regenerate ('trace' runs one "
-             "instrumented session instead)")
+             "instrumented session, 'campaign' runs N concurrent "
+             "sessions on one bottleneck)")
     parser.add_argument(
         "--scale", choices=["quick", "full", "paper"], default=None,
         help="scale profile (default: $REPRO_SCALE or quick)")
@@ -150,15 +212,36 @@ def main(argv=None) -> int:
     group.add_argument(
         "--timeseries", default=None, metavar="FILE",
         help="sample cwnd/queue/buffer curves to FILE as CSV")
+    group = parser.add_argument_group("campaign target")
+    group.add_argument(
+        "--sessions", type=int, default=20, metavar="N",
+        help="number of concurrent sessions (default: 20)")
+    group.add_argument(
+        "--churn", type=float, default=0.0, metavar="RATE",
+        help="session arrival rate per second (0 = staggered "
+             "starts; default: 0)")
+    group.add_argument(
+        "--service-batch", type=int, default=8, metavar="K",
+        help="bottleneck link batch size (1 = exact per-packet "
+             "service; default: 8)")
     args = parser.parse_args(argv)
 
     if args.target == "list":
-        for name in sorted(BUILDERS) + ["trace"]:
+        for name in sorted(BUILDERS) + ["trace", "campaign"]:
             print(name)
         return 0
 
     if args.target == "trace":
         return _run_trace(args)
+
+    if args.target == "campaign":
+        if args.sessions < 1:
+            parser.error("--sessions must be >= 1")
+        if args.churn < 0:
+            parser.error("--churn must be >= 0")
+        if args.service_batch < 1:
+            parser.error("--service-batch must be >= 1")
+        return _run_campaign(args)
 
     if args.workers is not None and args.workers < 1:
         parser.error("--workers must be >= 1")

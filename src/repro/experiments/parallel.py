@@ -44,6 +44,8 @@ from typing import (Any, Callable, Dict, List, Optional, Sequence,
                     Tuple, TypeVar)
 
 from repro import telemetry
+from repro.core.campaign import MultiSessionCampaign
+from repro.core.metrics import arrival_order_late_fraction
 from repro.core.session import StreamingSession
 from repro.experiments.cache import tau_key
 from repro.experiments.configs import Setting
@@ -98,8 +100,13 @@ def simulate_run(spec: RunSpec) -> Dict[str, Any]:
 
     The record is exactly what the cache stores: the per-flow stats and
     the (playback-order, arrival-order) late fractions at each
-    requested startup delay.
+    requested startup delay.  A multi-session setting
+    (``n_sessions > 1``) runs one whole campaign per replication and
+    additionally records the per-session late fractions under
+    ``sessions`` so population quantiles can be recomputed from cache.
     """
+    if spec.setting.n_sessions > 1:
+        return _simulate_campaign_run(spec)
     tel = telemetry.current()
     with tel.span("replication", label=spec.setting.name,
                   scheme=spec.scheme, seed=spec.seed,
@@ -119,6 +126,58 @@ def simulate_run(spec: RunSpec) -> Dict[str, Any]:
                                   metrics.arrival_order_late_fraction]
         record: Dict[str, Any] = {"flow_stats": result.flow_stats,
                                   "taus": taus}
+        if counters is not None:
+            record["counters"] = counters.as_dict()
+        return record
+
+
+def _simulate_campaign_run(spec: RunSpec) -> Dict[str, Any]:
+    """One replication of a multi-session campaign setting.
+
+    The first entry of ``setting.configs`` supplies the shared fan-in
+    bottleneck and its background load; ``len(setting.configs)`` is the
+    per-session path count (every path of every session crosses the one
+    bottleneck, so heterogeneous per-path configs have no meaning
+    here).  The record's ``taus`` carry population *means* so existing
+    consumers aggregate unchanged; the per-session distributions ride
+    along under ``sessions``.
+    """
+    tel = telemetry.current()
+    setting = spec.setting
+    with tel.span("replication", label=setting.name,
+                  scheme=spec.scheme, seed=spec.seed,
+                  duration_s=spec.duration_s):
+        path = setting.path_configs()[0]
+        campaign = MultiSessionCampaign(
+            mu=setting.mu, duration_s=spec.duration_s,
+            n_sessions=setting.n_sessions,
+            bottleneck=path.bottleneck,
+            paths_per_session=len(setting.configs),
+            scheme=spec.scheme,
+            queue_discipline=setting.queue_discipline,
+            seed=spec.seed,
+            churn_rate=setting.churn_rate,
+            n_ftp=path.n_ftp, n_http=path.n_http,
+            send_buffer_pkts=spec.send_buffer_pkts)
+        counters = campaign.attach_counters() if spec.counters else None
+        result = campaign.run()
+        taus: Dict[str, List[float]] = {}
+        sessions: Dict[str, List[float]] = {}
+        for tau in spec.taus:
+            fractions = result.late_fractions(tau)
+            ao_fractions = [
+                arrival_order_late_fraction(s.arrivals, s.mu, tau)
+                for s in result.sessions]
+            n = len(fractions)
+            taus[tau_key(tau)] = [sum(fractions) / n,
+                                  sum(ao_fractions) / n]
+            sessions[tau_key(tau)] = fractions
+        record: Dict[str, Any] = {
+            "flow_stats": [stats for s in result.sessions
+                           for stats in s.flow_stats],
+            "taus": taus,
+            "sessions": sessions,
+        }
         if counters is not None:
             record["counters"] = counters.as_dict()
         return record

@@ -202,6 +202,13 @@ def run_setting(setting: Setting,
     ``None`` = the configured default) and is resolved here so worker
     processes and cache keys see a concrete kernel name.
     """
+    if setting.n_sessions > 1:
+        raise ValueError(
+            f"setting {setting.name!r} has n_sessions="
+            f"{setting.n_sessions}; use "
+            "repro.experiments.campaign.run_campaign for "
+            "multi-session settings (the per-path model validation "
+            "below has no population analogue)")
     if profile is None:
         profile = scale_profile()
     if executor is None:

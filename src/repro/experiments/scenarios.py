@@ -30,6 +30,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict
 
+from repro.core.campaign import MultiSessionCampaign
 from repro.core.session import PathConfig, StreamingSession
 from repro.sim.queueing import QUEUE_DISCIPLINES
 from repro.sim.topology import BottleneckSpec
@@ -39,7 +40,7 @@ KNOWN_KEYS = {
     "mu", "duration_s", "paths", "scheme", "tcp_variant", "seed",
     "taus", "shared_bottleneck", "send_buffer_pkts", "segment_bytes",
     "warmup_s", "static_weights", "client_buffer_pkts", "client_tau",
-    "name", "queue_discipline",
+    "name", "queue_discipline", "n_sessions", "churn_rate",
 }
 PATH_KEYS = {"bandwidth_mbps", "delay_ms", "buffer_pkts", "ftp_flows",
              "http_flows"}
@@ -104,11 +105,27 @@ def validate_scenario(scenario: Dict[str, Any]) -> None:
     if discipline not in QUEUE_DISCIPLINES:
         _fail(f"unknown queue_discipline: {discipline!r} "
               f"(choose from {sorted(QUEUE_DISCIPLINES)})")
+    n_sessions = int(scenario.get("n_sessions", 1))
+    if n_sessions < 1:
+        _fail("n_sessions must be >= 1")
+    if float(scenario.get("churn_rate", 0.0)) < 0:
+        _fail("churn_rate must be non-negative")
+    if n_sessions > 1:
+        # Campaigns share one fan-in bottleneck: the first path spec
+        # supplies it, and per-path heterogeneity has no meaning.
+        if scenario.get("shared_bottleneck"):
+            _fail("n_sessions > 1 implies a fan-in bottleneck; "
+                  "drop shared_bottleneck")
+        if "static_weights" in scenario:
+            _fail("static_weights is not supported for campaigns")
 
 
 def build_session(scenario: Dict[str, Any]) -> StreamingSession:
     """Construct the session a scenario describes."""
     validate_scenario(scenario)
+    if int(scenario.get("n_sessions", 1)) > 1:
+        raise ScenarioError(
+            "n_sessions > 1 describes a campaign; use build_campaign")
     paths = [parse_path(spec, i)
              for i, spec in enumerate(scenario["paths"])]
     kwargs: Dict[str, Any] = {}
@@ -124,8 +141,71 @@ def build_session(scenario: Dict[str, Any]) -> StreamingSession:
         paths=paths, **kwargs)
 
 
+def build_campaign(scenario: Dict[str, Any]) -> MultiSessionCampaign:
+    """Construct the multi-session campaign a scenario describes.
+
+    The first path spec supplies the shared fan-in bottleneck and its
+    background load; ``len(paths)`` is the per-session path count.
+    """
+    validate_scenario(scenario)
+    n_sessions = int(scenario.get("n_sessions", 1))
+    if n_sessions < 2:
+        raise ScenarioError(
+            "build_campaign needs n_sessions > 1; use build_session")
+    path = parse_path(scenario["paths"][0], 0)
+    kwargs: Dict[str, Any] = {}
+    for key in ("scheme", "tcp_variant", "seed", "send_buffer_pkts",
+                "segment_bytes", "warmup_s", "client_buffer_pkts",
+                "client_tau", "queue_discipline", "churn_rate"):
+        if key in scenario:
+            kwargs[key] = scenario[key]
+    return MultiSessionCampaign(
+        mu=float(scenario["mu"]),
+        duration_s=float(scenario["duration_s"]),
+        n_sessions=n_sessions,
+        bottleneck=path.bottleneck,
+        paths_per_session=len(scenario["paths"]),
+        n_ftp=path.n_ftp, n_http=path.n_http, **kwargs)
+
+
+def run_campaign_scenario(scenario: Dict[str, Any]) -> Dict[str, Any]:
+    """Run a campaign scenario; summary carries population metrics."""
+    campaign = build_campaign(scenario)
+    result = campaign.run()
+    taus = [float(t) for t in scenario.get("taus", DEFAULT_TAUS)]
+    summary: Dict[str, Any] = {
+        "name": scenario.get("name", "scenario"),
+        "mu": result.mu,
+        "scheme": result.scheme,
+        "n_sessions": result.n_sessions,
+        "queue_discipline": result.queue_discipline,
+        "events_processed": result.events_processed,
+        "bottleneck_drop_fraction": result.bottleneck_drop_fraction,
+        "sessions": [
+            {
+                "label": s.label,
+                "start_at": s.start_at,
+                "received": s.received,
+                "total_packets": s.total_packets,
+            } for s in result.sessions],
+        "late_fraction": {},
+    }
+    for tau in taus:
+        population = result.population(tau)
+        population["per_session"] = result.late_fractions(tau)
+        summary["late_fraction"][f"{tau:g}"] = population
+    return summary
+
+
 def run_scenario(scenario: Dict[str, Any]) -> Dict[str, Any]:
-    """Run a scenario and return a JSON-serialisable summary."""
+    """Run a scenario and return a JSON-serialisable summary.
+
+    Multi-session scenarios (``n_sessions > 1``) route to
+    :func:`run_campaign_scenario` and summarise the population
+    late-fraction distribution instead of per-flow model inputs.
+    """
+    if int(scenario.get("n_sessions", 1)) > 1:
+        return run_campaign_scenario(scenario)
     session = build_session(scenario)
     result = session.run()
     taus = [float(t) for t in scenario.get("taus", DEFAULT_TAUS)]

@@ -55,6 +55,9 @@ SCHEMA: Dict[str, Tuple[str, ...]] = {
     # client side
     "client.arrival": ("path", "number"),
     "client.buffer": ("level",),
+    # multi-session campaigns: one event per session at the instant
+    # its video ends (received = packets delivered by then)
+    "campaign.session_done": ("session", "received", "total"),
 }
 
 Subscriber = Callable[[str, float, Tuple[Any, ...]], None]

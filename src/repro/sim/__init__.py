@@ -10,8 +10,10 @@ from repro.sim.engine import Event, Simulator
 from repro.sim.link import Link, duplex_link
 from repro.sim.node import Node
 from repro.sim.packet import Packet
+from repro.sim.pool import PacketPool
 from repro.sim.queueing import DropTailQueue
 from repro.sim.topology import (
+    FanInTopology,
     IndependentPathsTopology,
     SharedBottleneckTopology,
 )
@@ -21,12 +23,14 @@ __all__ = [
     "Event",
     "Simulator",
     "Packet",
+    "PacketPool",
     "DropTailQueue",
     "Link",
     "duplex_link",
     "Node",
     "PacketTrace",
     "TraceRecord",
+    "FanInTopology",
     "IndependentPathsTopology",
     "SharedBottleneckTopology",
 ]

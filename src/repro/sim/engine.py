@@ -14,9 +14,13 @@ from __future__ import annotations
 import heapq
 import itertools
 import random
-from typing import Any, Callable, List, Optional, Tuple
+from typing import (TYPE_CHECKING, Any, Callable, List, Optional,
+                    Tuple)
 
 from repro.obs.bus import EventBus
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.pool import PacketPool
 
 #: Cancelled events are removed lazily; the heap is compacted when more
 #: than half the calendar is dead weight (and it is worth the rebuild).
@@ -88,6 +92,12 @@ class Simulator:
         self._processed = 0
         self._cancelled = 0
         self.bus = bus if bus is not None else EventBus()
+        # Optional packet recycler for campaign-scale runs.  ``None``
+        # (the default) keeps per-packet allocation semantics; when a
+        # pool is installed, senders/receivers acquire from it and the
+        # network layers release at drop/delivery/dead-letter sinks
+        # (see repro.sim.pool for the ownership contract).
+        self.pool: Optional["PacketPool"] = None
         self._p_event = self.bus.probe("engine.event")
         self._p_compact = self.bus.probe("engine.compact")
 

@@ -82,15 +82,28 @@ class Node:
         link = self._routes.get(packet.dst)
         if link is None:
             self.dead_letters += 1
+            pool = self.sim.pool
+            if pool is not None:
+                pool.release(packet)
             return
         link.enqueue(packet)
 
     def receive(self, packet: Packet) -> None:
-        """Handle a packet arriving from a link (forward or deliver)."""
+        """Handle a packet arriving from a link (forward or deliver).
+
+        With a :class:`~repro.sim.pool.PacketPool` installed on the
+        simulator, a packet's life ends here: after the bound agent's
+        ``handle_packet`` returns (agents copy out what they keep — the
+        TCP receiver retains only ``payload``), or on the dead-letter
+        floor.  Forwarded packets stay live on the next link.
+        """
         if packet.dst != self.name:
             link = self._routes.get(packet.dst)
             if link is None:
                 self.dead_letters += 1
+                pool = self.sim.pool
+                if pool is not None:
+                    pool.release(packet)
                 return
             self.forwarded += 1
             link.enqueue(packet)
@@ -98,9 +111,15 @@ class Node:
         agent = self._agents.get(packet.dport)
         if agent is None:
             self.dead_letters += 1
+            pool = self.sim.pool
+            if pool is not None:
+                pool.release(packet)
             return
         self.delivered += 1
         agent.handle_packet(packet)
+        pool = self.sim.pool
+        if pool is not None:
+            pool.release(packet)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Node {self.name} routes={sorted(self._routes)}>"

@@ -8,6 +8,17 @@ from typing import Any, Optional, Set, Tuple
 _uid_counter = itertools.count()
 
 
+def fresh_uid() -> int:
+    """Next globally unique packet id.
+
+    Shared by the :class:`Packet` constructor and the recycling
+    :class:`~repro.sim.pool.PacketPool`: a recycled instance gets a
+    *fresh* uid per acquisition, so a uid always names one logical
+    packet even when the carrying object lives many lives.
+    """
+    return next(_uid_counter)
+
+
 class Packet:
     """A packet travelling through the simulated network.
 
@@ -37,7 +48,7 @@ class Packet:
 
     __slots__ = ("uid", "src", "dst", "sport", "dport", "size", "seq",
                  "ack", "wnd", "flags", "payload", "created_at",
-                 "hops", "is_retransmit")
+                 "hops", "is_retransmit", "pooled")
 
     def __init__(self, src: str, dst: str, sport: int, dport: int,
                  size: int, seq: int = 0, ack: int = -1,
@@ -59,6 +70,9 @@ class Packet:
         self.created_at = created_at
         self.hops = 0
         self.is_retransmit = False
+        # True only while the packet sits in a PacketPool free list;
+        # guards against double release (see repro.sim.pool).
+        self.pooled = False
 
     @property
     def is_ack(self) -> bool:

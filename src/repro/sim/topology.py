@@ -29,11 +29,20 @@ ACCESS_DELAY_S = 0.010
 
 def _bottleneck_pair(sim: Simulator, r_in: Node, r_out: Node,
                      spec: "BottleneckSpec",
-                     discipline: str) -> Tuple[Link, Link]:
+                     discipline: str,
+                     service_batch: int = 1) -> Tuple[Link, Link]:
     """Build the fwd/rev bottleneck links under one queue discipline.
 
     The queue factory is fed the simulator's seeded RNG and clock so
     AQM drop decisions stay a pure function of the experiment seed.
+
+    Multi-session audit: nothing here is sized to a flow count — the
+    queues bucket by per-packet flow keys (FQ-PIE hashes
+    ``(src, sport, dst, dport)``), the RNG/clock closures are
+    per-simulator, and link/queue names derive from the router names,
+    which are unique per builder.  Any number of sessions may share
+    one pair; ``service_batch > 1`` opts the pair into batched link
+    service for campaign-scale runs.
     """
     links = []
     for src, dst in ((r_in, r_out), (r_out, r_in)):
@@ -42,7 +51,8 @@ def _bottleneck_pair(sim: Simulator, r_in: Node, r_out: Node,
                            rng=sim.rng, clock=lambda: sim.now,
                            bus=sim.bus, name=name)
         links.append(Link(sim, src, dst, spec.bandwidth_bps,
-                          spec.delay_s, spec.buffer_pkts, queue=queue))
+                          spec.delay_s, spec.buffer_pkts, queue=queue,
+                          service_batch=service_batch))
     return links[0], links[1]
 
 
@@ -185,3 +195,106 @@ class SharedBottleneckTopology:
             bottleneck_rev=rev, bg_source_host=bg_src,
             bg_sink_host=bg_sink)
         self.paths = [shared] * n_paths
+
+
+class FanInTopology:
+    """N sessions' access links fanned into one shared AQM bottleneck.
+
+    The campaign topology: session ``i`` has its own server node
+    ``srv{i}`` uplinked to the shared ingress router ``r1`` and
+    ``paths_per_session`` client interface nodes ``cli{i}.{k}``, each
+    on its own access link off the egress router ``r2`` (the paper's
+    multihoming model, one node per interface).  Every session's video
+    flows — and one shared pool of background hosts — cross the single
+    ``r1 -> r2`` bottleneck built by :func:`_bottleneck_pair`, so all
+    four queue disciplines work unchanged.
+
+    Single-session assumptions audited away relative to the Fig. 3/6
+    builders: routing is keyed by *destination node name*, so per-node
+    names carry the session index and K sessions never collide in a
+    route table; ports are bound per node, so per-session nodes make
+    port clashes impossible; bottleneck queues key flows by the full
+    ``(src, sport, dst, dport)`` tuple rather than anything sized at
+    build time.
+
+    ``service_batch`` opts the bottleneck pair into batched link
+    service (access links stay exact: they are fat and lightly
+    queued, so batching them would buy nothing).
+    """
+
+    def __init__(self, sim: Simulator, spec: BottleneckSpec,
+                 n_sessions: int, paths_per_session: int = 2,
+                 queue_discipline: str = "droptail",
+                 service_batch: int = 1) -> None:
+        if n_sessions < 1 or paths_per_session < 1:
+            raise ValueError(
+                "need n_sessions >= 1 and paths_per_session >= 1")
+        self.sim = sim
+        self.queue_discipline = queue_discipline
+        self.n_sessions = n_sessions
+        self.paths_per_session = paths_per_session
+
+        r1 = Node(sim, "r1")
+        r2 = Node(sim, "r2")
+        bg_src = Node(sim, "bgsrc")
+        bg_sink = Node(sim, "bgsink")
+        bg_up, _ = duplex_link(
+            sim, bg_src, r1, ACCESS_BANDWIDTH_BPS, ACCESS_DELAY_S,
+            queue_limit_pkts=1000)
+        _, bg_sink_up = duplex_link(
+            sim, r2, bg_sink, ACCESS_BANDWIDTH_BPS, ACCESS_DELAY_S,
+            queue_limit_pkts=1000)
+
+        fwd, rev = _bottleneck_pair(sim, r1, r2, spec,
+                                    queue_discipline,
+                                    service_batch=service_batch)
+        r1.add_route(r2.name, fwd)
+        r2.add_route(r1.name, rev)
+
+        bg_src.add_route(bg_sink.name, bg_up)
+        r1.add_route(bg_sink.name, fwd)
+        r2.add_route(bg_src.name, rev)
+        bg_sink.add_route(bg_src.name, bg_sink_up)
+
+        self.ingress_router = r1
+        self.egress_router = r2
+        self.bottleneck_fwd = fwd
+        self.bottleneck_rev = rev
+        self.bg_source_host = bg_src
+        self.bg_sink_host = bg_sink
+
+        #: Per-session path handles: ``sessions[i]`` is the list of
+        #: ``paths_per_session`` handles for session ``i`` (0-based).
+        self.sessions: List[List[PathHandles]] = []
+        for i in range(1, n_sessions + 1):
+            self.sessions.append(self._build_session(i))
+
+    def _build_session(self, i: int) -> List[PathHandles]:
+        sim = self.sim
+        r1, r2 = self.ingress_router, self.egress_router
+        server = Node(sim, f"srv{i}")
+        server_up, server_down = duplex_link(
+            sim, server, r1, ACCESS_BANDWIDTH_BPS, ACCESS_DELAY_S,
+            queue_limit_pkts=1000)
+        handles: List[PathHandles] = []
+        for k in range(1, self.paths_per_session + 1):
+            client_if = Node(sim, f"cli{i}.{k}")
+            _, client_up = duplex_link(
+                sim, r2, client_if, ACCESS_BANDWIDTH_BPS,
+                ACCESS_DELAY_S, queue_limit_pkts=1000)
+            # Forward: server -> r1 -> bottleneck -> r2 -> client.
+            server.add_route(client_if.name, server_up)
+            r1.add_route(client_if.name, self.bottleneck_fwd)
+            # (r2 -> client route installed by duplex_link)
+            # Reverse: client -> r2 -> bottleneck -> r1 -> server.
+            client_if.add_route(server.name, client_up)
+            r2.add_route(server.name, self.bottleneck_rev)
+            r1.add_route(server.name, server_down)
+            handles.append(PathHandles(
+                index=k, server_if=server, client_if=client_if,
+                ingress_router=r1, egress_router=r2,
+                bottleneck_fwd=self.bottleneck_fwd,
+                bottleneck_rev=self.bottleneck_rev,
+                bg_source_host=self.bg_source_host,
+                bg_sink_host=self.bg_sink_host))
+        return handles

@@ -9,6 +9,9 @@ from repro.sim.node import Node
 from repro.sim.packet import Packet
 from repro.tcp.reno import ACK_SIZE_BYTES
 
+#: Reused by pooled ACK acquisition (avoids a set literal per ACK).
+_ACK_FLAGS = ("ACK",)
+
 
 class TcpReceiver:
     """Receive side of a TCP connection.
@@ -115,10 +118,17 @@ class TcpReceiver:
         wnd = -1
         if self.window_provider is not None:
             wnd = max(0, int(self.window_provider()))
-        ack = Packet(
-            src=self.node.name, dst=peer_name, sport=self.port,
-            dport=peer_port, size=ACK_SIZE_BYTES, ack=self.rcv_nxt,
-            wnd=wnd, flags={"ACK"}, created_at=self.sim.now)
+        pool = self.sim.pool
+        if pool is not None:
+            ack = pool.acquire(
+                src=self.node.name, dst=peer_name, sport=self.port,
+                dport=peer_port, size=ACK_SIZE_BYTES, ack=self.rcv_nxt,
+                wnd=wnd, flags=_ACK_FLAGS, created_at=self.sim.now)
+        else:
+            ack = Packet(
+                src=self.node.name, dst=peer_name, sport=self.port,
+                dport=peer_port, size=ACK_SIZE_BYTES, ack=self.rcv_nxt,
+                wnd=wnd, flags={"ACK"}, created_at=self.sim.now)
         if self.sack_enabled and self._ooo:
             ack.payload = self._sack_blocks()
         self.node.send(ack)

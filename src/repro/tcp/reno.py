@@ -173,10 +173,19 @@ class RenoSender:
             self._arm_rto()
 
     def _transmit(self, seq: int, retransmit: bool) -> None:
-        packet = Packet(
-            src=self.node.name, dst=self.dst_name, sport=self.port,
-            dport=self.dst_port, size=self.segment_bytes, seq=seq,
-            payload=self._payload_for(seq), created_at=self.sim.now)
+        pool = self.sim.pool
+        if pool is not None:
+            packet = pool.acquire(
+                src=self.node.name, dst=self.dst_name,
+                sport=self.port, dport=self.dst_port,
+                size=self.segment_bytes, seq=seq,
+                payload=self._payload_for(seq),
+                created_at=self.sim.now)
+        else:
+            packet = Packet(
+                src=self.node.name, dst=self.dst_name, sport=self.port,
+                dport=self.dst_port, size=self.segment_bytes, seq=seq,
+                payload=self._payload_for(seq), created_at=self.sim.now)
         packet.is_retransmit = retransmit
         self.segments_sent += 1
         if retransmit:

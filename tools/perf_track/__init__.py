@@ -182,11 +182,22 @@ def compare(new_doc: Dict[str, Any], base_doc: Dict[str, Any],
             note=f"{len(matched)} matched (ratio, tau) points"))
 
     # -- absolute metrics: gate only on the same machine --------------
-    for name, path, higher_better in (
-            ("packet_sim.events_per_second",
-             ("packet_sim", "events_per_second"), True),
-            ("mc_kernel.vectorized_seconds",
-             ("mc_kernel", "total_seconds", "vectorized"), False)):
+    absolute_metrics: List[Tuple[str, Tuple[str, ...], bool]] = [
+        ("packet_sim.events_per_second",
+         ("packet_sim", "events_per_second"), True),
+        ("mc_kernel.vectorized_seconds",
+         ("mc_kernel", "total_seconds", "vectorized"), False),
+    ]
+    # One absolute event-rate metric per campaign session count the
+    # new snapshot reports (older baselines simply lack the path and
+    # the metric is skipped below).
+    multi_by_n = new_doc.get("benchmarks", {}) \
+        .get("multisession", {}).get("events_per_second_by_n", {})
+    for count in sorted(multi_by_n, key=int):
+        absolute_metrics.append((
+            f"multisession.events_per_second.n{count}",
+            ("multisession", "events_per_second_by_n", count), True))
+    for name, path, higher_better in absolute_metrics:
         new_value = _metric(new_doc, *path)
         base_value = _metric(base_doc, *path)
         if new_value is None or base_value is None \
@@ -205,6 +216,24 @@ def compare(new_doc: Dict[str, Any], base_doc: Dict[str, Any],
             threshold=threshold,
             note="" if gate else
             "info only (different machine or mode)"))
+
+    # -- within-report scaling gate: machine-independent --------------
+    # The multi-session refactor's contract: per-event cost must not
+    # blow up with session count, i.e. the N=200 event rate holds
+    # within 3x of the N=10 rate *of the same snapshot*.  Both numbers
+    # come from one process on one machine, so this gates everywhere.
+    eps_10 = _metric(new_doc, "multisession",
+                     "events_per_second_by_n", "10")
+    eps_200 = _metric(new_doc, "multisession",
+                      "events_per_second_by_n", "200")
+    if eps_10 is not None and eps_200 is not None and eps_10 > 0:
+        floor = eps_10 / 3.0
+        comp.results.append(MetricResult(
+            name="multisession.scaling_n200_vs_n10",
+            baseline=floor, new=eps_200,
+            ratio=eps_200 / floor, gated=True,
+            regressed=eps_200 < floor, threshold=1.0,
+            note="within-report: N=200 rate >= N=10 rate / 3"))
 
     # -- tiny timings: never gate -------------------------------------
     for name, path in (
