@@ -8,6 +8,12 @@ deliverable: per-event cost must stay roughly flat as N grows, i.e.
 events/sec at N=200 must hold within 3x of the N=10 rate
 (``tools/perf_track`` gates exactly that, within one report, on any
 machine).
+
+The N=1000 point doubles as a PacketPool/service-batch audit at the
+largest population the packet sim still affords: each point carries
+the pool counters, and perf_track gates that at N=1000 the pool
+actually recycles (reuse fraction >= 0.5) rather than degenerating
+into straight allocation.
 """
 
 from __future__ import annotations
@@ -17,7 +23,7 @@ import time
 from repro.core.campaign import MultiSessionCampaign
 from repro.sim.topology import BottleneckSpec
 
-SESSION_COUNTS = (1, 10, 50, 200)
+SESSION_COUNTS = (1, 10, 50, 200, 1000)
 MU = 25.0
 SEED = 1
 WARMUP_S = 5.0
@@ -54,6 +60,7 @@ def run(mode: str) -> dict:
         delivered = sum(s.received for s in result.sessions)
         total = sum(s.total_packets for s in result.sessions)
         rate = events / elapsed
+        pool = campaign.sim.pool
         points.append({
             "n_sessions": n_sessions,
             "events": events,
@@ -61,6 +68,15 @@ def run(mode: str) -> dict:
             "events_per_second": rate,
             "delivered_packets": delivered,
             "total_packets": total,
+            "pool": {
+                "allocated": pool.allocated,
+                "acquired": pool.acquired,
+                "recycled": pool.recycled,
+                "released": pool.released,
+                "free": pool.free,
+                "reuse_fraction": (pool.recycled / pool.acquired
+                                   if pool.acquired else 0.0),
+            },
         })
         by_n[str(n_sessions)] = rate
     return {

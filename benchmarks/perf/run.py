@@ -15,8 +15,12 @@ Four microbenchmarks are timed:
 * ``chain_build``  — TcpFlowChain construction and vectorized-table
   compilation time.
 * ``multisession`` — engine event rate on N-session campaigns
-  (N = 1, 10, 50, 200) over one shared bottleneck; the scaling curve
-  of the multi-session refactor.
+  (N = 1, 10, 50, 200, 1000) over one shared bottleneck; the scaling
+  curve of the multi-session refactor, with PacketPool counters at
+  each point.
+* ``meanfield``    — population-ODE solve time vs the packet sim at
+  N = 10/100/1000, mean-field-only solves at N = 10^4/10^6, and a
+  full (ratio, tau) late-fraction grid at 10^6 sessions.
 
 The output JSON (default: ``BENCH_perf.json`` at the repository root)
 carries machine and library-version metadata so numbers from different
@@ -70,6 +74,7 @@ def run_benchmarks(mode: str) -> dict:
     from benchmarks.perf import (
         bench_chain_build,
         bench_mc_kernel,
+        bench_meanfield,
         bench_multisession,
         bench_packet_sim,
     )
@@ -78,6 +83,7 @@ def run_benchmarks(mode: str) -> dict:
         "packet_sim": bench_packet_sim.run(mode),
         "chain_build": bench_chain_build.run(mode),
         "multisession": bench_multisession.run(mode),
+        "meanfield": bench_meanfield.run(mode),
     }
 
 
@@ -140,7 +146,25 @@ def main(argv=None) -> int:
               f"{point['seconds']:.2f}s -> "
               f"{point['events_per_second']:,.0f} events/s "
               f"({point['delivered_packets']}/"
-              f"{point['total_packets']} delivered)")
+              f"{point['total_packets']} delivered, "
+              f"pool reuse {point['pool']['reuse_fraction']:.2f})")
+    mf = results["meanfield"]
+    for point in mf["points"]:
+        solve = point["meanfield"]["seconds"]
+        if point["packet"] is None:
+            print(f"[meanfield] N={point['n_sessions']:<7} "
+                  f"solve {solve:.2f}s (packet sim not affordable)")
+        else:
+            print(f"[meanfield] N={point['n_sessions']:<7} "
+                  f"solve {solve:.2f}s vs packet "
+                  f"{point['packet']['seconds']:.2f}s -> "
+                  f"{point['speedup']:.1f}x")
+    grid = mf["grid"]
+    print(f"[meanfield] {len(grid['rows'])}-ratio grid at "
+          f"N={grid['n_sessions']:,} in {grid['seconds']:.2f}s "
+          f"(extrapolated packet cost "
+          f"{grid['extrapolated_packet_seconds']:,.0f}s -> "
+          f"{grid['speedup_vs_extrapolated']:,.0f}x)")
     print(f"[wrote {args.output}]")
     return 0
 

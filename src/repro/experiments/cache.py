@@ -32,11 +32,13 @@ import json
 import os
 import tempfile
 from dataclasses import asdict
-from typing import TYPE_CHECKING, Any, Dict, Optional, Union
+from typing import (TYPE_CHECKING, Any, Dict, Optional, Sequence,
+                    Union)
 
 from repro import telemetry
 from repro.model.dmp_model import LateFractionEstimate
 from repro.model.mc_kernel import resolve_kernel
+from repro.model.meanfield import MeanFieldSpec
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.experiments.parallel import ModelTask, RunSpec
@@ -55,7 +57,11 @@ if TYPE_CHECKING:  # pragma: no cover
 #: (``n_sessions``, ``churn_rate``); run keys carry both, and campaign
 #: records additionally store per-session late fractions under
 #: ``sessions`` (coverage re-checked on read like ``taus``).
-CODE_VERSION = 6
+#: v7: ``Setting`` grew the solver ``backend`` axis; run keys carry it
+#: so packet-sim records are never read back for a mean-field request
+#: (and vice versa), and mean-field solves get their own record kind
+#: keyed on the full ``MeanFieldSpec``.
+CODE_VERSION = 7
 
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 ENV_CACHE = "REPRO_CACHE"
@@ -127,6 +133,7 @@ class ResultCache:
                 "queue_discipline": setting.queue_discipline,
                 "n_sessions": setting.n_sessions,
                 "churn_rate": setting.churn_rate,
+                "backend": setting.backend,
             },
             "duration_s": spec.duration_s,
             "scheme": spec.scheme,
@@ -154,6 +161,39 @@ class ResultCache:
 
     def model_key(self, task: "ModelTask") -> str:
         return _digest(self.model_key_payload(task))
+
+    @staticmethod
+    def meanfield_key_payload(spec: MeanFieldSpec) -> Dict[str, Any]:
+        """The full identity of one mean-field solve.
+
+        Every ``MeanFieldSpec`` field shapes the solution, so every
+        field is key material; the record is additionally tagged
+        ``backend: meanfield`` so it can never collide with packet-sim
+        run records even under a digest prefix match.
+        """
+        return {
+            "kind": "meanfield",
+            "version": CODE_VERSION,
+            "backend": "meanfield",
+            "n_sessions": spec.n_sessions,
+            "mu": spec.mu,
+            "bandwidth_pps": spec.bandwidth_pps,
+            "buffer_pkts": spec.buffer_pkts,
+            "queue_discipline": spec.queue_discipline,
+            "paths_per_session": spec.paths_per_session,
+            "n_background": spec.n_background,
+            "base_rtt_s": spec.base_rtt_s,
+            "duration_s": spec.duration_s,
+            "warmup_s": spec.warmup_s,
+            "drain_s": spec.drain_s,
+            "wmax": spec.wmax,
+            "to_ratio": spec.to_ratio,
+            "min_rto_s": spec.min_rto_s,
+            "dt": spec.dt,
+        }
+
+    def meanfield_key(self, spec: MeanFieldSpec) -> str:
+        return _digest(self.meanfield_key_payload(spec))
 
     # -- run records ---------------------------------------------------
     def get_run(self, spec: "RunSpec") -> Optional[Dict[str, Any]]:
@@ -243,6 +283,39 @@ class ResultCache:
             "path_shares": list(estimate.path_shares),
             "kernel": estimate.kernel,
         }, "model")
+
+    # -- mean-field records --------------------------------------------
+    def get_meanfield(self, spec: MeanFieldSpec,
+                      taus: Sequence[float] = ()) \
+            -> Optional[Dict[str, Any]]:
+        """Cached mean-field record covering ``taus``, or None.
+
+        Like run records, mean-field records accumulate per-tau late
+        fractions across invocations; a record is only a hit when it
+        carries every requested tau.
+        """
+        record = self._read(self.meanfield_key(spec), "meanfield")
+        if record is None or not isinstance(record.get("taus"), dict):
+            self._miss("meanfield")
+            return None
+        if any(tau_key(tau) not in record["taus"] for tau in taus):
+            self._miss("meanfield")
+            return None
+        self._hit("meanfield")
+        return record
+
+    def put_meanfield(self, spec: MeanFieldSpec,
+                      record: Dict[str, Any]) -> None:
+        """Store a mean-field record, merging taus with any prior
+        record under the same key (mirrors :meth:`put_run`)."""
+        key = self.meanfield_key(spec)
+        previous = self._read(key, "meanfield")
+        if previous is not None \
+                and isinstance(previous.get("taus"), dict):
+            merged = dict(previous["taus"])
+            merged.update(record["taus"])
+            record = dict(record, taus=merged)
+        self._write(key, record, "meanfield")
 
     # -- storage -------------------------------------------------------
     def _path(self, key: str) -> str:

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from repro import telemetry
 from repro.core.metrics import quantile
+from repro.core.session import VIDEO_SEGMENT_BYTES
 from repro.experiments.cache import ResultCache, resolve_cache, tau_key
 from repro.experiments.configs import Setting
 from repro.experiments.parallel import ReplicationExecutor, RunSpec
@@ -33,6 +34,12 @@ from repro.experiments.runner import (
     _mean_ci95,
     scale_profile,
 )
+from repro.model.meanfield import (
+    MeanFieldSpec,
+    resolve_backend,
+    solve_meanfield,
+)
+from repro.sim.topology import ACCESS_DELAY_S
 
 
 @dataclass
@@ -71,6 +78,96 @@ class CampaignRun:
         raise KeyError(f"no point at tau={tau}")
 
 
+def meanfield_spec_for_setting(setting: Setting,
+                               duration_s: float,
+                               warmup_s: float = 20.0,
+                               drain_s: float = 60.0) -> MeanFieldSpec:
+    """Translate a campaign :class:`Setting` into a mean-field problem.
+
+    The mapping mirrors :func:`~repro.experiments.parallel.
+    _simulate_campaign_run`: the first entry of ``setting.configs``
+    supplies the shared fan-in bottleneck and its background load, and
+    ``len(setting.configs)`` is the per-session path count.  Bandwidth
+    converts to packets/s at the video segment size and the base RTT
+    adds the two fan-in access hops
+    (:data:`repro.sim.topology.ACCESS_DELAY_S`) in each direction.
+    HTTP background (short transfers with think time) has no mean-field
+    analogue and is dropped — only the persistent FTP flows count
+    (see the :mod:`repro.model.meanfield` approximation notes).
+    """
+    path = setting.path_configs()[0]
+    spec = path.bottleneck
+    return MeanFieldSpec(
+        n_sessions=setting.n_sessions,
+        mu=setting.mu,
+        bandwidth_pps=spec.bandwidth_bps / (8.0 * VIDEO_SEGMENT_BYTES),
+        buffer_pkts=float(spec.buffer_pkts),
+        queue_discipline=setting.queue_discipline,
+        paths_per_session=len(setting.configs),
+        n_background=path.n_ftp,
+        base_rtt_s=2.0 * (2.0 * ACCESS_DELAY_S + spec.delay_s),
+        duration_s=duration_s,
+        warmup_s=warmup_s,
+        drain_s=drain_s)
+
+
+def _run_meanfield_campaign(setting: Setting,
+                            taus: Sequence[float],
+                            profile: ScaleProfile,
+                            scheme: str,
+                            cache: Union[ResultCache, bool, None]) \
+        -> CampaignRun:
+    """Solve a mean-field campaign setting deterministically.
+
+    One ODE solve replaces every replication: the solution is exact
+    for the limit object, so ``ci95`` is 0 and the population
+    distribution is degenerate (every quantile equals the mean).  The
+    result is cached under the full :class:`MeanFieldSpec` key, with
+    per-tau late fractions accumulating across invocations like run
+    records.
+    """
+    if scheme != "dmp":
+        raise ValueError(
+            f"mean-field backend models the DMP scheme only, "
+            f"not {scheme!r}")
+    if setting.churn_rate > 0:
+        raise ValueError(
+            "mean-field backend assumes synchronized session starts; "
+            f"churn_rate={setting.churn_rate:g} is not modelled — "
+            "use the packet backend for churn studies")
+    tel = telemetry.current()
+    with tel.span("campaign", label=setting.name, scheme=scheme,
+                  profile=profile.name, runs=1,
+                  sessions=setting.n_sessions, backend="meanfield"):
+        spec = meanfield_spec_for_setting(setting, profile.duration_s)
+        float_taus = [float(tau) for tau in taus]
+        resolved = resolve_cache(cache)
+        record = resolved.get_meanfield(spec, float_taus) \
+            if resolved else None
+        if record is None:
+            solution = solve_meanfield(spec)
+            record = {
+                "backend": "meanfield",
+                "taus": {tau_key(tau): solution.late_fraction(tau)
+                         for tau in float_taus},
+                "mean_drop_prob": solution.mean_drop_prob,
+                "mean_queue_pkts": solution.mean_queue_pkts,
+            }
+            if resolved:
+                resolved.put_meanfield(spec, record)
+
+        points = [CampaignPoint(
+            tau=tau, mean=value, ci95=0.0, p50=value, p95=value,
+            p99=value, worst=value)
+            for tau in float_taus
+            for value in [float(record["taus"][tau_key(tau)])]]
+        return CampaignRun(
+            setting=setting, profile=profile, scheme=scheme,
+            points=points,
+            per_run_sessions={tau: [[pt.mean]]
+                              for tau, pt in zip(float_taus, points)})
+
+
 def run_campaign(setting: Setting,
                  taus: Sequence[float] = DEFAULT_TAUS,
                  profile: Optional[ScaleProfile] = None,
@@ -87,8 +184,13 @@ def run_campaign(setting: Setting,
     bottleneck per replication; ``setting.churn_rate`` picks staggered
     (0) or Poisson-churn (> 0) session starts.  Replications fan out
     over the executor exactly like single-session settings and reuse
-    the same cache records (keyed on the campaign axes via
-    ``CODE_VERSION`` 6 payloads).
+    the same cache records (keyed on the campaign axes).
+
+    ``setting.backend == "meanfield"`` routes to the deterministic
+    population ODE instead (:mod:`repro.model.meanfield`): one solve
+    replaces every replication, ``ci95`` is 0 and the population
+    distribution is degenerate.  Cost is then independent of
+    ``setting.n_sessions`` — N = 10^6 works.
     """
     if setting.n_sessions < 2:
         raise ValueError(
@@ -97,6 +199,9 @@ def run_campaign(setting: Setting,
             "validation")
     if profile is None:
         profile = scale_profile()
+    if resolve_backend(setting.backend) == "meanfield":
+        return _run_meanfield_campaign(setting, taus, profile, scheme,
+                                       cache)
     if executor is None:
         executor = ReplicationExecutor(max_workers=max_workers)
     tel = telemetry.current()

@@ -43,7 +43,7 @@ from repro.experiments.configs import ALL_SETTINGS
 from repro.experiments.figures import BUILDERS
 from repro.experiments.report import save_output
 from repro.experiments.runner import scale_profile
-from repro.model import mc_kernel
+from repro.model import mc_kernel, meanfield
 from repro.sim.queueing import QUEUE_DISCIPLINES
 
 
@@ -87,6 +87,33 @@ def _run_trace(args) -> int:
           f"path shares {[round(s, 3) for s in result.path_shares]}")
     print("probe event counts:")
     print(counters.summary())
+    return 0
+
+
+def _run_meanfield(args) -> int:
+    """Solve one mean-field campaign and report population metrics."""
+    from repro.experiments.campaign import meanfield_spec_for_setting
+
+    setting = dataclasses.replace(
+        ALL_SETTINGS[args.setting],
+        queue_discipline=args.queue_discipline,
+        n_sessions=args.sessions, backend="meanfield")
+    spec = meanfield_spec_for_setting(setting, args.duration)
+
+    started = time.time()  # repro-lint: disable=RL001 -- progress timer
+    solution = meanfield.solve_meanfield(spec)
+    elapsed = time.time() - started  # repro-lint: disable=RL001 -- progress timer
+
+    print(f"mean-field campaign setting {setting.name} scheme=dmp "
+          f"queue={setting.queue_discipline} "
+          f"sessions={args.sessions} duration={args.duration:g}s")
+    print(f"solved in {elapsed:.2f}s wall (cost independent of N); "
+          f"mean drop prob {solution.mean_drop_prob:.4f}, "
+          f"mean queue {solution.mean_queue_pkts:.1f} pkts")
+    print("late fraction (tau: population value — the limit "
+          "distribution is degenerate):")
+    for tau in (4.0, 6.0, 8.0, 10.0):
+        print(f"  {tau:g}s: {solution.late_fraction(tau):.4f}")
     return 0
 
 
@@ -224,6 +251,12 @@ def main(argv=None) -> int:
         "--service-batch", type=int, default=8, metavar="K",
         help="bottleneck link batch size (1 = exact per-packet "
              "service; default: 8)")
+    group.add_argument(
+        "--backend", choices=list(meanfield.BACKENDS),
+        default="packet",
+        help="campaign solver: the packet-level simulator or the "
+             "deterministic mean-field population ODE (cost "
+             "independent of --sessions; default: packet)")
     args = parser.parse_args(argv)
 
     if args.target == "list":
@@ -241,6 +274,20 @@ def main(argv=None) -> int:
             parser.error("--churn must be >= 0")
         if args.service_batch < 1:
             parser.error("--service-batch must be >= 1")
+        if args.backend == "meanfield":
+            if args.sessions < 2:
+                parser.error("--backend meanfield needs --sessions "
+                             ">= 2 (it is a population model)")
+            if args.queue_discipline not in \
+                    meanfield.MEANFIELD_DISCIPLINES:
+                parser.error(
+                    "--backend meanfield supports "
+                    f"{list(meanfield.MEANFIELD_DISCIPLINES)}; got "
+                    f"{args.queue_discipline!r}")
+            if args.churn > 0:
+                parser.error("--backend meanfield assumes "
+                             "synchronized starts; --churn must be 0")
+            return _run_meanfield(args)
         return _run_campaign(args)
 
     if args.workers is not None and args.workers < 1:

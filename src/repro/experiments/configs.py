@@ -85,6 +85,11 @@ class Setting:
     load) and ``churn_rate`` picks the arrival process — 0 staggers
     session starts deterministically, > 0 draws exponential
     inter-arrivals at that rate per second from the run's seed.
+
+    ``backend`` selects the solver: ``"packet"`` (the event-driven
+    simulator) or ``"meanfield"`` (the deterministic population ODE of
+    :mod:`repro.model.meanfield`, campaigns only; cost independent of
+    ``n_sessions``).  See ``repro.model.meanfield.BACKENDS``.
     """
 
     name: str
@@ -94,6 +99,7 @@ class Setting:
     queue_discipline: str = "droptail"
     n_sessions: int = 1
     churn_rate: float = 0.0
+    backend: str = "packet"
 
     def path_configs(self,
                      table: Optional[Dict[int, LinkConfig]] = None) \

@@ -105,6 +105,12 @@ def simulate_run(spec: RunSpec) -> Dict[str, Any]:
     additionally records the per-session late fractions under
     ``sessions`` so population quantiles can be recomputed from cache.
     """
+    if spec.setting.backend != "packet":
+        raise ValueError(
+            f"simulate_run got backend={spec.setting.backend!r}; "
+            "mean-field settings are solved deterministically by "
+            "repro.experiments.campaign.run_campaign, never fanned "
+            "out as replications")
     if spec.setting.n_sessions > 1:
         return _simulate_campaign_run(spec)
     tel = telemetry.current()

@@ -209,6 +209,12 @@ def run_setting(setting: Setting,
             "repro.experiments.campaign.run_campaign for "
             "multi-session settings (the per-path model validation "
             "below has no population analogue)")
+    if setting.backend != "packet":
+        raise ValueError(
+            f"setting {setting.name!r} selects backend="
+            f"{setting.backend!r}; run_setting is packet-sim only — "
+            "the mean-field backend is a population model, use "
+            "repro.experiments.campaign.run_campaign")
     if profile is None:
         profile = scale_profile()
     if executor is None:

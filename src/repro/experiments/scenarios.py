@@ -32,15 +32,21 @@ from typing import Any, Dict
 
 from repro.core.campaign import MultiSessionCampaign
 from repro.core.session import PathConfig, StreamingSession
+from repro.model.meanfield import (
+    BACKENDS,
+    MEANFIELD_DISCIPLINES,
+    MeanFieldSpec,
+    solve_meanfield,
+)
 from repro.sim.queueing import QUEUE_DISCIPLINES
-from repro.sim.topology import BottleneckSpec
+from repro.sim.topology import ACCESS_DELAY_S, BottleneckSpec
 
 REQUIRED_KEYS = ("mu", "duration_s", "paths")
 KNOWN_KEYS = {
     "mu", "duration_s", "paths", "scheme", "tcp_variant", "seed",
     "taus", "shared_bottleneck", "send_buffer_pkts", "segment_bytes",
     "warmup_s", "static_weights", "client_buffer_pkts", "client_tau",
-    "name", "queue_discipline", "n_sessions", "churn_rate",
+    "name", "queue_discipline", "n_sessions", "churn_rate", "backend",
 }
 PATH_KEYS = {"bandwidth_mbps", "delay_ms", "buffer_pkts", "ftp_flows",
              "http_flows"}
@@ -118,11 +124,31 @@ def validate_scenario(scenario: Dict[str, Any]) -> None:
                   "drop shared_bottleneck")
         if "static_weights" in scenario:
             _fail("static_weights is not supported for campaigns")
+    backend = scenario.get("backend", "packet")
+    if backend not in BACKENDS:
+        _fail(f"unknown backend: {backend!r} "
+              f"(choose from {list(BACKENDS)})")
+    if backend == "meanfield":
+        if n_sessions < 2:
+            _fail("backend 'meanfield' is a population model; "
+                  "it needs n_sessions > 1")
+        if discipline not in MEANFIELD_DISCIPLINES:
+            _fail(f"backend 'meanfield' supports disciplines "
+                  f"{list(MEANFIELD_DISCIPLINES)}, not {discipline!r}")
+        if float(scenario.get("churn_rate", 0.0)) > 0:
+            _fail("backend 'meanfield' assumes synchronized starts; "
+                  "churn_rate must be 0")
+        if scenario.get("scheme", "dmp") != "dmp":
+            _fail("backend 'meanfield' models the DMP scheme only")
 
 
 def build_session(scenario: Dict[str, Any]) -> StreamingSession:
     """Construct the session a scenario describes."""
     validate_scenario(scenario)
+    if scenario.get("backend", "packet") != "packet":
+        raise ScenarioError(
+            "build_session constructs packet-level sessions; "
+            "mean-field scenarios run through run_scenario")
     if int(scenario.get("n_sessions", 1)) > 1:
         raise ScenarioError(
             "n_sessions > 1 describes a campaign; use build_campaign")
@@ -148,6 +174,10 @@ def build_campaign(scenario: Dict[str, Any]) -> MultiSessionCampaign:
     background load; ``len(paths)`` is the per-session path count.
     """
     validate_scenario(scenario)
+    if scenario.get("backend", "packet") != "packet":
+        raise ScenarioError(
+            "build_campaign constructs packet-level campaigns; "
+            "mean-field scenarios run through run_scenario")
     n_sessions = int(scenario.get("n_sessions", 1))
     if n_sessions < 2:
         raise ScenarioError(
@@ -197,13 +227,56 @@ def run_campaign_scenario(scenario: Dict[str, Any]) -> Dict[str, Any]:
     return summary
 
 
+def run_meanfield_scenario(scenario: Dict[str, Any]) -> Dict[str, Any]:
+    """Solve a mean-field campaign scenario deterministically.
+
+    The first path spec supplies the shared bottleneck (mirroring
+    :func:`build_campaign`); the deterministic population ODE of
+    :mod:`repro.model.meanfield` replaces the packet simulation, so
+    the summary carries one degenerate population per tau (every
+    session sees the same limit trajectory) and no per-flow stats.
+    """
+    validate_scenario(scenario)
+    path = parse_path(scenario["paths"][0], 0)
+    spec = MeanFieldSpec(
+        n_sessions=int(scenario["n_sessions"]),
+        mu=float(scenario["mu"]),
+        bandwidth_pps=path.bottleneck.bandwidth_bps / (8.0 * 1500.0),
+        buffer_pkts=float(path.bottleneck.buffer_pkts),
+        queue_discipline=str(
+            scenario.get("queue_discipline", "droptail")),
+        paths_per_session=len(scenario["paths"]),
+        n_background=path.n_ftp,
+        base_rtt_s=2.0 * (2.0 * ACCESS_DELAY_S
+                          + path.bottleneck.delay_s),
+        duration_s=float(scenario["duration_s"]),
+        warmup_s=float(scenario.get("warmup_s", 20.0)))
+    solution = solve_meanfield(spec)
+    taus = [float(t) for t in scenario.get("taus", DEFAULT_TAUS)]
+    return {
+        "name": scenario.get("name", "scenario"),
+        "mu": spec.mu,
+        "scheme": "dmp",
+        "backend": "meanfield",
+        "n_sessions": spec.n_sessions,
+        "queue_discipline": spec.queue_discipline,
+        "mean_drop_prob": solution.mean_drop_prob,
+        "mean_queue_pkts": solution.mean_queue_pkts,
+        "late_fraction": {f"{tau:g}": solution.population(tau)
+                          for tau in taus},
+    }
+
+
 def run_scenario(scenario: Dict[str, Any]) -> Dict[str, Any]:
     """Run a scenario and return a JSON-serialisable summary.
 
     Multi-session scenarios (``n_sessions > 1``) route to
-    :func:`run_campaign_scenario` and summarise the population
+    :func:`run_campaign_scenario` (or, with ``backend: meanfield``,
+    to :func:`run_meanfield_scenario`) and summarise the population
     late-fraction distribution instead of per-flow model inputs.
     """
+    if scenario.get("backend", "packet") == "meanfield":
+        return run_meanfield_scenario(scenario)
     if int(scenario.get("n_sessions", 1)) > 1:
         return run_campaign_scenario(scenario)
     session = build_session(scenario)

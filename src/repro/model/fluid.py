@@ -1,28 +1,39 @@
-"""The Section 7.3 fluid comparison: DMP vs single-path streaming.
+"""Fluid late-fraction machinery (Section 7.3 and the mean-field backend).
 
-The paper's illustration: every path alternates between zero and
-non-zero throughput with period 10 s (5 s on, 5 s off).  The single
-path P has on-rate ``2*mu``; the two DMP paths P1/P2 have on-rates
-``x`` and ``2*mu - x`` for ``x in (0, mu]``, so the long-run aggregate
-equals ``mu`` in both scenarios.  With a 5 s startup delay the claim
-(shown in the tech report) is that DMP's average late fraction is no
-larger than single-path's for every x — when the two paths alternate
-congestion, DMP shifts packets to the live path.
+Two consumers share one computation:
 
-This module computes the fluid late fraction exactly on a fine grid:
-arrivals follow the network-calculus bound
-``A(t) = min_{s<=t} [G(s) + integral_s^t rate]`` (live source: you can
-never send more than has been generated), playback is
-``B(t) = mu*(t - tau)``, and the late fraction over a horizon is the
-fraction of playback that happens while ``A < B``.
+* the paper's Section 7.3 on/off comparison — DMP vs single-path over
+  square-wave paths (:func:`fluid_late_fraction`,
+  :func:`compare_dmp_vs_single`);
+* the population-scale mean-field backend
+  (:mod:`repro.model.meanfield`), which produces a per-session goodput
+  *trace* and needs the same network-calculus treatment
+  (:func:`late_fraction_from_trace`).
+
+The core identity: with per-step arrival budget ``rate[i] * dt`` and
+cumulative generation ``G`` (live source: you can never send more than
+has been generated), the delivered curve satisfies
+
+    arrived[i] = min(G[i], arrived[i-1] + rate[i] * dt)
+
+whose closed form is ``S[i] + min(0, min_{k<=i}(G[k] - S[k]))`` with
+``S`` the cumulative rate integral — one ``cumsum`` plus one running
+minimum instead of a Python loop, which is what makes mean-field
+(ratio, tau) grids at N=10^6 sessions a sub-second post-processing
+step.  Playback is ``B(t) = mu * (t - tau)`` and the late fraction
+over a horizon is the fraction of playback steps in deficit
+(``A < B``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
+import numpy.typing as npt
+
+FloatArray = npt.NDArray[np.float64]
 
 
 @dataclass(frozen=True)
@@ -38,7 +49,7 @@ class OnOffPath:
     on_time: float = 5.0
     phase: float = 0.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.rate < 0:
             raise ValueError("rate must be non-negative")
         if not 0 < self.on_time <= self.period:
@@ -47,6 +58,72 @@ class OnOffPath:
     def rate_at(self, t: float) -> float:
         offset = (t - self.phase) % self.period
         return self.rate if offset < self.on_time else 0.0
+
+
+def arrival_curve(rates: FloatArray, generated: FloatArray,
+                  dt: float) -> FloatArray:
+    """Delivered cumulative curve under the live-source constraint.
+
+    ``rates`` is the service-rate trace on a uniform ``dt`` grid and
+    ``generated`` the cumulative generation at the *end* of each step;
+    the result is the cumulative delivered curve
+    ``arrived[i] = min(generated[i], arrived[i-1] + rates[i]*dt)``
+    evaluated in closed form (cumsum + running minimum).
+    """
+    sendable = np.cumsum(rates) * dt
+    slack = np.minimum(generated - sendable, 0.0)
+    arrived: FloatArray = sendable + np.minimum.accumulate(slack)
+    return arrived
+
+
+def late_fraction_from_trace(rates: Union[Sequence[float], FloatArray],
+                             mu: float, tau: float, dt: float,
+                             video_duration_s: Optional[float] = None) \
+        -> float:
+    """Late playback fraction for a service-rate trace.
+
+    ``rates`` is the aggregate delivery rate (packets/s) on a uniform
+    grid of step ``dt`` starting at the session's t=0; generation runs
+    at ``mu`` for ``video_duration_s`` seconds (``None`` = the whole
+    trace, the live-stream case) and playback starts at ``tau``.  The
+    returned fraction is the share of playback steps still in deficit
+    — packets that miss their ``tau + i/mu`` deadline — matching
+    :func:`repro.core.metrics.late_fraction` in the fluid limit.
+    """
+    if mu <= 0 or tau < 0:
+        raise ValueError("need mu > 0 and tau >= 0")
+    if dt <= 0:
+        raise ValueError("need dt > 0")
+    rate = np.asarray(rates, dtype=np.float64)
+    if rate.ndim != 1 or rate.size == 0:
+        raise ValueError("rates must be a non-empty 1-D trace")
+    if np.any(rate < 0):
+        raise ValueError("rates must be non-negative")
+    steps = rate.size
+    times = np.arange(steps) * dt
+
+    ends = times + dt
+    if video_duration_s is None:
+        generated = mu * ends
+        total = float("inf")
+    else:
+        if video_duration_s <= 0:
+            raise ValueError("video_duration_s must be positive")
+        generated = mu * np.minimum(ends, video_duration_s)
+        total = mu * video_duration_s
+
+    arrived = arrival_curve(rate, generated, dt)
+
+    playback = mu * (ends - tau)
+    # A step "plays" while playback is positive and the content was
+    # not already exhausted at the step's start.
+    playing = (playback > 0) & (playback - mu * dt < total)
+    played = int(np.count_nonzero(playing))
+    if played == 0:
+        return 0.0
+    target = np.minimum(playback, total)
+    deficit = playing & (arrived < target - 1e-9)
+    return float(np.count_nonzero(deficit) / played)
 
 
 def fluid_late_fraction(paths: Sequence[OnOffPath], mu: float,
@@ -67,26 +144,7 @@ def fluid_late_fraction(paths: Sequence[OnOffPath], mu: float,
     for path in paths:
         offsets = (times - path.phase) % path.period
         rate += np.where(offsets < path.on_time, path.rate, 0.0)
-
-    generated = mu * (times + dt)  # G at the end of each step
-    arrived = np.empty(steps)
-    total = 0.0
-    backlog = 0.0
-    for i in range(steps):
-        backlog += mu * dt                  # newly generated fluid
-        sendable = min(backlog, rate[i] * dt)
-        total += sendable
-        backlog -= sendable
-        arrived[i] = total
-
-    playback = mu * (times + dt - tau)
-    playing = playback > 0
-    deficit = playing & (arrived < playback - 1e-9)
-    played_packets = mu * dt * playing.sum()
-    if played_packets <= 0:
-        return 0.0
-    late_packets = mu * dt * deficit.sum()
-    return float(late_packets / played_packets)
+    return late_fraction_from_trace(rate, mu, tau, dt)
 
 
 def single_path_scenario(mu: float, period: float = 10.0,

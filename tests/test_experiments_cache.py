@@ -17,6 +17,7 @@ from repro.experiments.configs import Setting
 from repro.experiments.parallel import ModelTask, RunSpec
 from repro.experiments.runner import ScaleProfile, run_setting
 from repro.model.dmp_model import LateFractionEstimate
+from repro.model.meanfield import MeanFieldSpec
 from repro.model.tcp_chain import FlowParams
 
 TINY = ScaleProfile("tiny", runs=2, duration_s=40.0,
@@ -120,6 +121,86 @@ def test_key_embeds_code_version(cache, monkeypatch):
     before = cache.run_key(spec)
     monkeypatch.setattr(cache_mod, "CODE_VERSION", CODE_VERSION + 1)
     assert cache.run_key(spec) != before
+
+
+def test_run_key_separates_backends(cache):
+    """Packet and mean-field requests never share one record."""
+    packet = cache.run_key(_spec())
+    meanfield = cache.run_key(_spec(setting=dataclasses.replace(
+        SETTING, n_sessions=100, backend="meanfield")))
+    assert packet != meanfield
+    payload = cache.run_key_payload(_spec())
+    assert payload["setting"]["backend"] == "packet"
+
+
+def test_backend_axis_forced_a_version_bump():
+    """Growing the key material (v7, ``backend``) upgrades old
+    records: a pre-backend record — implicitly packet — can never be
+    read back for a mean-field request or vice versa."""
+    assert CODE_VERSION >= 7
+
+
+def _mf_spec(**overrides):
+    base = dict(n_sessions=100, mu=10.0, bandwidth_pps=800.0,
+                buffer_pkts=200.0, duration_s=30.0)
+    base.update(overrides)
+    return MeanFieldSpec(**base)
+
+
+def test_meanfield_key_sensitive_to_every_field(cache):
+    base = _mf_spec()
+    variants = [
+        _mf_spec(n_sessions=101),
+        _mf_spec(mu=11.0),
+        _mf_spec(bandwidth_pps=801.0),
+        _mf_spec(buffer_pkts=201.0),
+        _mf_spec(queue_discipline="red"),
+        _mf_spec(paths_per_session=3),
+        _mf_spec(n_background=1),
+        _mf_spec(base_rtt_s=0.07),
+        _mf_spec(duration_s=31.0),
+        _mf_spec(warmup_s=21.0),
+        _mf_spec(drain_s=61.0),
+        _mf_spec(wmax=33),
+        _mf_spec(to_ratio=2.5),
+        _mf_spec(min_rto_s=0.3),
+        _mf_spec(dt=0.004),
+    ]
+    keys = {cache.meanfield_key(spec) for spec in variants}
+    keys.add(cache.meanfield_key(base))
+    assert len(keys) == len(variants) + 1
+    payload = cache.meanfield_key_payload(base)
+    assert payload["kind"] == "meanfield"
+    assert payload["backend"] == "meanfield"
+    assert payload["version"] == cache_mod.CODE_VERSION
+
+
+def test_meanfield_record_round_trip_and_tau_merge(cache):
+    spec = _mf_spec()
+    assert cache.get_meanfield(spec, [2.0]) is None
+    assert cache.misses == 1
+    cache.put_meanfield(spec, {"backend": "meanfield",
+                               "taus": {tau_key(2.0): 0.5}})
+    assert cache.stores == 1
+    assert cache.get_meanfield(spec, [2.0])["taus"] \
+        == {tau_key(2.0): 0.5}
+    assert cache.hits == 1
+    # A new tau misses, then merges with the prior record.
+    assert cache.get_meanfield(spec, [2.0, 4.0]) is None
+    cache.put_meanfield(spec, {"backend": "meanfield",
+                               "taus": {tau_key(4.0): 0.25}})
+    merged = cache.get_meanfield(spec, [2.0, 4.0])
+    assert merged["taus"] == {tau_key(2.0): 0.5, tau_key(4.0): 0.25}
+
+
+def test_corrupted_meanfield_record_is_a_miss(cache, tmp_path):
+    spec = _mf_spec()
+    path = os.path.join(str(tmp_path),
+                        cache.meanfield_key(spec) + ".json")
+    os.makedirs(str(tmp_path), exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump({"taus": "not-a-dict"}, handle)
+    assert cache.get_meanfield(spec, [2.0]) is None
 
 
 def test_model_key_sensitive_to_flows_and_inputs(cache):

@@ -129,3 +129,51 @@ def test_scenario_reproducibility():
     one = run_scenario(GOOD)
     two = run_scenario(GOOD)
     assert one == two
+
+
+# ---------------------------------------------------------------------
+# Mean-field backend scenarios
+# ---------------------------------------------------------------------
+MEANFIELD = {
+    "mu": 10,
+    "duration_s": 20,
+    "n_sessions": 200,
+    "backend": "meanfield",
+    "queue_discipline": "red",
+    "taus": [2, 6],
+    "paths": [
+        {"bandwidth_mbps": 18.0, "delay_ms": 40, "buffer_pkts": 400},
+        {"bandwidth_mbps": 18.0, "delay_ms": 40, "buffer_pkts": 400},
+    ],
+}
+
+
+def test_meanfield_scenario_runs_deterministically():
+    summary = run_scenario(MEANFIELD)
+    assert summary["backend"] == "meanfield"
+    assert summary["n_sessions"] == 200
+    assert set(summary["late_fraction"]) == {"2", "6"}
+    for population in summary["late_fraction"].values():
+        assert 0.0 <= population["mean"] <= 1.0
+        assert population["mean"] == population["p99"]  # degenerate
+    assert run_scenario(MEANFIELD) == summary  # no RNG
+
+
+def test_meanfield_scenario_validation():
+    for patch, match in (
+            ({"backend": "warp"}, "unknown backend"),
+            ({"n_sessions": 1}, "population model"),
+            ({"queue_discipline": "pie"}, "supports disciplines"),
+            ({"churn_rate": 0.5}, "synchronized"),
+            ({"scheme": "static"}, "DMP"),
+    ):
+        with pytest.raises(ScenarioError, match=match):
+            validate_scenario(dict(MEANFIELD, **patch))
+
+
+def test_builders_reject_meanfield_scenarios():
+    with pytest.raises(ScenarioError, match="run_scenario"):
+        build_session(MEANFIELD)
+    from repro.experiments.scenarios import build_campaign
+    with pytest.raises(ScenarioError, match="run_scenario"):
+        build_campaign(MEANFIELD)

@@ -397,3 +397,57 @@ def test_seeded_churn_campaign_is_bit_identical(seed):
         duration_s=5.0, scheme="dmp", seed=seed,
         send_buffer_pkts=16, taus=(2.0, 4.0))
     assert simulate_run(spec) == simulate_run(spec)
+
+
+# ---------------------------------------------------------------------
+# Mean-field backend dispatch and guards
+# ---------------------------------------------------------------------
+class TestMeanfieldBackendDispatch:
+    SETTING = Setting("mf-camp", (2, 2), mu=50.0, n_sessions=100,
+                      backend="meanfield")
+    PROFILE = ScaleProfile("tiny", runs=2, duration_s=20.0,
+                           model_horizon_s=0.0)
+
+    def test_run_campaign_routes_to_the_ode(self):
+        run = run_campaign(self.SETTING, taus=(2.0, 6.0),
+                           profile=self.PROFILE, cache=False)
+        assert [pt.tau for pt in run.points] == [2.0, 6.0]
+        for pt in run.points:
+            assert 0.0 <= pt.mean <= 1.0
+            # The limit object is deterministic and degenerate.
+            assert pt.ci95 == 0.0
+            assert pt.p50 == pt.p95 == pt.p99 == pt.worst == pt.mean
+        assert run.per_run_sessions[2.0] == [[run.point(2.0).mean]]
+        # Reruns are bit-identical: no RNG anywhere in the backend.
+        again = run_campaign(self.SETTING, taus=(2.0, 6.0),
+                             profile=self.PROFILE, cache=False)
+        assert [pt.mean for pt in again.points] \
+            == [pt.mean for pt in run.points]
+
+    def test_meanfield_rejects_unsupported_axes(self):
+        import dataclasses
+        for bad in (
+                dataclasses.replace(self.SETTING, churn_rate=0.5),
+                dataclasses.replace(self.SETTING,
+                                    queue_discipline="pie"),
+                dataclasses.replace(self.SETTING, backend="ns2"),
+        ):
+            with pytest.raises(ValueError):
+                run_campaign(bad, taus=(2.0,), profile=self.PROFILE,
+                             cache=False)
+        with pytest.raises(ValueError, match="DMP"):
+            run_campaign(self.SETTING, taus=(2.0,),
+                         profile=self.PROFILE, scheme="static",
+                         cache=False)
+
+    def test_run_setting_and_simulate_run_reject_meanfield(self):
+        single = Setting("mf-single", (2, 2), mu=50.0,
+                         backend="meanfield")
+        with pytest.raises(ValueError, match="packet-sim only"):
+            run_setting(single, taus=(2.0,), profile=self.PROFILE,
+                        cache=False, run_model=False)
+        spec = RunSpec(setting=self.SETTING, duration_s=5.0,
+                       scheme="dmp", seed=1, send_buffer_pkts=16,
+                       taus=(2.0,))
+        with pytest.raises(ValueError, match="backend"):
+            simulate_run(spec)

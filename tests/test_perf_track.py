@@ -142,6 +142,73 @@ def test_noise_inside_tolerance_passes():
     assert not geo.regressed  # geomean ~0.97, well inside 0.65 gate
 
 
+def _with_meanfield(doc, n10=0.2, n1e6=0.25, grid_speedup=5000.0):
+    out = copy.deepcopy(doc)
+    out["benchmarks"]["meanfield"] = {
+        "solve_seconds_by_n": {"10": n10, "1000000": n1e6},
+        "grid": {"n_sessions": 1_000_000, "seconds": 0.8,
+                 "extrapolated_packet_seconds": 0.8 * grid_speedup,
+                 "speedup_vs_extrapolated": grid_speedup},
+    }
+    return out
+
+
+def _with_pool_point(doc, reuse):
+    out = copy.deepcopy(doc)
+    out["benchmarks"]["multisession"] = {
+        "points": [{"n_sessions": 1000,
+                    "pool": {"reuse_fraction": reuse}}],
+    }
+    return out
+
+
+def test_meanfield_scaling_gates_within_report_on_any_machine():
+    base = _report()  # baseline has no meanfield section at all
+    ok = _with_meanfield(_report(cpu="OtherCPU"), n10=0.2, n1e6=1.9)
+    comp = compare(ok, base)
+    scaling = next(r for r in comp.results
+                   if r.name == "meanfield.scaling_n1e6_vs_n10")
+    assert scaling.gated and not scaling.regressed
+
+    slow = _with_meanfield(_report(cpu="OtherCPU"), n10=0.2, n1e6=3.0)
+    comp = compare(slow, base)
+    scaling = next(r for r in comp.results
+                   if r.name == "meanfield.scaling_n1e6_vs_n10")
+    assert scaling.regressed  # 3.0 > 10 * 0.2: N-independence lost
+
+
+def test_meanfield_grid_speedup_gate():
+    comp = compare(_with_meanfield(_report(), grid_speedup=43000.0),
+                   _report())
+    gate = next(r for r in comp.results
+                if r.name == "meanfield.speedup_vs_extrapolated")
+    assert gate.gated and not gate.regressed and gate.threshold == 1.0
+
+    comp = compare(_with_meanfield(_report(), grid_speedup=60.0),
+                   _report())
+    gate = next(r for r in comp.results
+                if r.name == "meanfield.speedup_vs_extrapolated")
+    assert gate.regressed  # below the 100x floor
+
+
+def test_reports_without_meanfield_grow_no_meanfield_metrics():
+    comp = compare(_report(), _report())
+    assert not any(r.name.startswith("meanfield.")
+                   for r in comp.results)
+
+
+def test_pool_reuse_gates_at_n1000():
+    comp = compare(_with_pool_point(_report(), reuse=0.97), _report())
+    gate = next(r for r in comp.results
+                if r.name == "multisession.pool_reuse_n1000")
+    assert gate.gated and not gate.regressed
+
+    comp = compare(_with_pool_point(_report(), reuse=0.1), _report())
+    gate = next(r for r in comp.results
+                if r.name == "multisession.pool_reuse_n1000")
+    assert gate.regressed
+
+
 def test_resolve_baseline_prefers_the_mode_specific_file(tmp_path):
     (tmp_path / "BENCH_perf.json").write_text("{}", encoding="utf-8")
     (tmp_path / "BENCH_perf.quick.json").write_text(

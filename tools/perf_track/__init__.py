@@ -32,6 +32,13 @@ different machine, so naive comparison would be meaningless):
   reported for information only.
 * **Tiny timings never gate**: chain-build/compile times are
   single-digit milliseconds and dominated by allocator noise.
+* **Within-report gates are machine-free** and therefore gate
+  everywhere: the multi-session scaling and pool-reuse contracts, and
+  the mean-field backend's N-independence (the N=10^6 solve within
+  10x of the N=10 solve; the 10^6-session grid at least 100x faster
+  than the packet-sim cost extrapolated from the measured N=1000
+  point).  Both sides of each ratio come from one snapshot on one
+  machine.
 
 The tolerance is widened by the observed spread of the matched
 per-point ratios (``spread / sqrt(n)``), so a wide noisy grid does
@@ -234,6 +241,54 @@ def compare(new_doc: Dict[str, Any], base_doc: Dict[str, Any],
             ratio=eps_200 / floor, gated=True,
             regressed=eps_200 < floor, threshold=1.0,
             note="within-report: N=200 rate >= N=10 rate / 3"))
+
+    # PacketPool audit at the largest packet-sim population: the pool
+    # must actually recycle packets at N=1000 (reuse fraction >= 0.5)
+    # rather than degenerate into straight allocation.  Counter ratio
+    # from one process — machine-free, gates everywhere.
+    reuse = None
+    for point in new_doc.get("benchmarks", {}) \
+            .get("multisession", {}).get("points", []):
+        if point.get("n_sessions") == 1000:
+            reuse = point.get("pool", {}).get("reuse_fraction")
+    if isinstance(reuse, (int, float)):
+        floor = 0.5
+        comp.results.append(MetricResult(
+            name="multisession.pool_reuse_n1000",
+            baseline=floor, new=float(reuse),
+            ratio=float(reuse) / floor, gated=True,
+            regressed=float(reuse) < floor, threshold=1.0,
+            note="within-report: pool reuse fraction >= 0.5 "
+                 "at N=1000"))
+
+    # -- mean-field within-report gates: machine-independent ----------
+    # The population backend's contract is N-independent solve time:
+    # the N=10^6 solve must stay within 10x of the N=10 solve of the
+    # same snapshot, and the 10^6-session (ratio, tau) grid must beat
+    # the packet-sim cost extrapolated from the measured N=1000 run by
+    # at least 100x.
+    mf_10 = _metric(new_doc, "meanfield", "solve_seconds_by_n", "10")
+    mf_1e6 = _metric(new_doc, "meanfield", "solve_seconds_by_n",
+                     "1000000")
+    if mf_10 is not None and mf_1e6 is not None and mf_10 > 0:
+        ceiling = 10.0 * mf_10
+        comp.results.append(MetricResult(
+            name="meanfield.scaling_n1e6_vs_n10",
+            baseline=ceiling, new=mf_1e6,
+            ratio=ceiling / mf_1e6, gated=True,
+            regressed=mf_1e6 > ceiling, threshold=1.0,
+            note="within-report: N=10^6 solve <= 10x N=10 solve"))
+    grid_speedup = _metric(new_doc, "meanfield", "grid",
+                           "speedup_vs_extrapolated")
+    if grid_speedup is not None:
+        floor = 100.0
+        comp.results.append(MetricResult(
+            name="meanfield.speedup_vs_extrapolated",
+            baseline=floor, new=grid_speedup,
+            ratio=grid_speedup / floor, gated=True,
+            regressed=grid_speedup < floor, threshold=1.0,
+            note="within-report: 10^6-session grid >= 100x "
+                 "extrapolated packet cost"))
 
     # -- tiny timings: never gate -------------------------------------
     for name, path in (
