@@ -1,0 +1,87 @@
+"""Verifier benchmark: certified-envelope solve time vs T and K.
+
+The verifier (:mod:`repro.verify`) answers each envelope query by
+binary-searching SAT instances over a ``T``-round horizon with ``K``
+paths, so its wall time scales with both axes.  This benchmark times
+``max_late_envelope`` on a fixed spec family (provisioning ratio 1.5,
+one lossy path, alternating delays) across a (T, K) grid and records
+which engine answered: z3 when the ``verify`` extra is installed,
+complete enumeration otherwise.  Instances beyond the exhaustive
+limits are skipped — with a marker, not silently — when z3 is absent.
+
+All numbers are **information only** for ``tools/perf_track``: solver
+time depends on the z3 version and search heuristics, so a regression
+here is a review-time judgement, never a gate.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict
+
+from repro.verify import (
+    PathBudget,
+    VerifySpec,
+    exhaustive_feasible,
+    have_z3,
+    max_late_envelope,
+    resolve_engine,
+)
+
+#: Startup delay (rounds) shared by every instance in the family.
+TAU = 2
+
+MODES = {
+    "quick": {"horizons": (8, 10, 12), "path_counts": (1, 2)},
+    "full": {"horizons": (8, 10, 12, 14, 16),
+             "path_counts": (1, 2, 3)},
+}
+
+
+def _spec(rounds: int, n_paths: int) -> VerifySpec:
+    """Ratio-1.5 family: ``2*K`` packets/round against ``K`` paths of
+    rate 3, one round of slack each, a single loss credit on path 0
+    and a one-round delivery delay on every odd path."""
+    return VerifySpec(
+        mu_r=2 * n_paths, tau=TAU, rounds=rounds,
+        paths=tuple(
+            PathBudget(rate=3, slack=3,
+                       loss=1 if k == 0 else 0,
+                       delay=k % 2, buffer=4)
+            for k in range(n_paths)
+        ),
+        label=f"bench-T{rounds}-K{n_paths}",
+    )
+
+
+def run(mode: str) -> Dict[str, Any]:
+    cfg = MODES[mode]
+    points = []
+    seconds_by_instance: Dict[str, float] = {}
+    for rounds in cfg["horizons"]:
+        for n_paths in cfg["path_counts"]:
+            spec = _spec(rounds, n_paths)
+            point: Dict[str, Any] = {
+                "rounds": rounds,
+                "paths": n_paths,
+                "total_packets": spec.total_packets,
+            }
+            if not have_z3() and not exhaustive_feasible(spec):
+                point["skipped"] = ("needs z3: instance beyond the "
+                                    "exhaustive-engine limits")
+                points.append(point)
+                continue
+            engine = resolve_engine(spec)
+            started = time.perf_counter()
+            res = max_late_envelope(spec, "dmp", engine=engine,
+                                    cache=False)
+            elapsed = time.perf_counter() - started
+            point.update(engine=engine, max_late=res.max_late,
+                         seconds=elapsed)
+            seconds_by_instance[f"T{rounds}.K{n_paths}"] = elapsed
+            points.append(point)
+    return {
+        "z3_available": have_z3(),
+        "points": points,
+        "seconds_by_instance": seconds_by_instance,
+    }

@@ -21,6 +21,11 @@ Four microbenchmarks are timed:
 * ``meanfield``    — population-ODE solve time vs the packet sim at
   N = 10/100/1000, mean-field-only solves at N = 10^4/10^6, and a
   full (ratio, tau) late-fraction grid at 10^6 sessions.
+* ``verify``       — certified-envelope solve time over a (T, K)
+  grid (``repro.verify``); z3 when the ``verify`` extra is
+  installed, exhaustive enumeration otherwise.  Info-only for
+  ``tools/perf_track`` — solver time tracks the z3 version, not
+  this repository.
 
 The output JSON (default: ``BENCH_perf.json`` at the repository root)
 carries machine and library-version metadata so numbers from different
@@ -77,6 +82,7 @@ def run_benchmarks(mode: str) -> dict:
         bench_meanfield,
         bench_multisession,
         bench_packet_sim,
+        bench_verify,
     )
     return {
         "mc_kernel": bench_mc_kernel.run(mode),
@@ -84,6 +90,7 @@ def run_benchmarks(mode: str) -> dict:
         "chain_build": bench_chain_build.run(mode),
         "multisession": bench_multisession.run(mode),
         "meanfield": bench_meanfield.run(mode),
+        "verify": bench_verify.run(mode),
     }
 
 
@@ -165,6 +172,18 @@ def main(argv=None) -> int:
           f"(extrapolated packet cost "
           f"{grid['extrapolated_packet_seconds']:,.0f}s -> "
           f"{grid['speedup_vs_extrapolated']:,.0f}x)")
+    ver = results["verify"]
+    engine_note = "z3" if ver["z3_available"] else "exhaustive"
+    for point in ver["points"]:
+        tag = f"T={point['rounds']:<3} K={point['paths']}"
+        if "skipped" in point:
+            print(f"[verify] {tag} skipped ({point['skipped']})")
+        else:
+            print(f"[verify] {tag} max_late="
+                  f"{point['max_late']}/{point['total_packets']} "
+                  f"in {point['seconds']:.2f}s "
+                  f"({point['engine']})")
+    print(f"[verify] engine: {engine_note}")
     print(f"[wrote {args.output}]")
     return 0
 

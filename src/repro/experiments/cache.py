@@ -39,6 +39,7 @@ from repro import telemetry
 from repro.model.dmp_model import LateFractionEstimate
 from repro.model.mc_kernel import resolve_kernel
 from repro.model.meanfield import MeanFieldSpec
+from repro.verify.spec import VerifySpec
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.experiments.parallel import ModelTask, RunSpec
@@ -61,7 +62,11 @@ if TYPE_CHECKING:  # pragma: no cover
 #: so packet-sim records are never read back for a mean-field request
 #: (and vice versa), and mean-field solves get their own record kind
 #: keyed on the full ``MeanFieldSpec``.
-CODE_VERSION = 7
+#: v8: verification results (``repro.verify``) get their own record
+#: kind keyed on the full ``VerifySpec`` plus scheme/engine/query;
+#: no prior kind changed shape, bumped per the RL004 diff policy
+#: because the key-payload module gained new material.
+CODE_VERSION = 8
 
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 ENV_CACHE = "REPRO_CACHE"
@@ -195,6 +200,40 @@ class ResultCache:
     def meanfield_key(self, spec: MeanFieldSpec) -> str:
         return _digest(self.meanfield_key_payload(spec))
 
+    @staticmethod
+    def verify_key_payload(spec: VerifySpec, scheme: str = "dmp",
+                           engine: str = "exhaustive",
+                           query: str = "max_late") -> Dict[str, Any]:
+        """The full identity of one verification query.
+
+        ``gen_rounds`` and ``static_shares`` are keyed through their
+        *resolved* values (``_gen`` / ``_shares``): an explicit value
+        equal to the default resolves to the same instance, so the two
+        spellings legitimately share one record.  The engine is part
+        of the key so a bug in one engine can never poison the other's
+        records (results are exact, so agreement is a test invariant,
+        not a cache assumption).
+        """
+        return {
+            "kind": "verify",
+            "version": CODE_VERSION,
+            "scheme": scheme,
+            "engine": engine,
+            "query": query,
+            "mu_r": spec.mu_r,
+            "tau": spec.tau,
+            "rounds": spec.rounds,
+            "paths": [asdict(p) for p in spec.paths],
+            "gen_rounds": spec._gen,
+            "static_shares": list(spec._shares),
+        }
+
+    def verify_key(self, spec: VerifySpec, scheme: str = "dmp",
+                   engine: str = "exhaustive",
+                   query: str = "max_late") -> str:
+        return _digest(self.verify_key_payload(
+            spec, scheme=scheme, engine=engine, query=query))
+
     # -- run records ---------------------------------------------------
     def get_run(self, spec: "RunSpec") -> Optional[Dict[str, Any]]:
         """Cached record for one replication, or None.
@@ -316,6 +355,39 @@ class ResultCache:
             merged.update(record["taus"])
             record = dict(record, taus=merged)
         self._write(key, record, "meanfield")
+
+    # -- verification records ------------------------------------------
+    def get_verify(self, spec: VerifySpec, scheme: str = "dmp",
+                   engine: str = "exhaustive",
+                   query: str = "max_late") \
+            -> Optional[Dict[str, Any]]:
+        """Cached verification record, or None.
+
+        Only the shape is validated here; the caller
+        (:mod:`repro.verify.queries`) replays the stored witness and
+        treats any disagreement as a miss, so a stale or tampered
+        record can never surface as a certified result.
+        """
+        record = self._read(
+            self.verify_key(spec, scheme=scheme, engine=engine,
+                            query=query), "verify")
+        if record is None or "value" not in record \
+                or not isinstance(record.get("choices"), dict):
+            self._miss("verify")
+            return None
+        self._hit("verify")
+        return record
+
+    def put_verify(self, spec: VerifySpec, scheme: str = "dmp",
+                   engine: str = "exhaustive",
+                   query: str = "max_late",
+                   record: Optional[Dict[str, Any]] = None) -> None:
+        """Store a verification record (exact result: no merging)."""
+        if record is None:
+            raise ValueError("put_verify needs a record")
+        self._write(
+            self.verify_key(spec, scheme=scheme, engine=engine,
+                            query=query), record, "verify")
 
     # -- storage -------------------------------------------------------
     def _path(self, key: str) -> str:

@@ -41,6 +41,8 @@ from repro.experiments import cache as result_cache
 from repro.experiments import parallel
 from repro.experiments.configs import ALL_SETTINGS
 from repro.experiments.figures import BUILDERS
+from repro.experiments.optional_deps import (EXIT_MISSING_DEPENDENCY,
+                                             MissingDependencyError)
 from repro.experiments.report import save_output
 from repro.experiments.runner import scale_profile
 from repro.model import mc_kernel, meanfield
@@ -172,6 +174,98 @@ def _run_campaign(args) -> int:
     return 0
 
 
+def _report_missing_dependency(exc: MissingDependencyError) -> int:
+    """The shared error path for optional features: one message shape,
+    one exit code, one install hint — regardless of which target hit
+    the missing package."""
+    print(f"error: {exc}", file=sys.stderr)
+    print(exc.hint(), file=sys.stderr)
+    return EXIT_MISSING_DEPENDENCY
+
+
+def _run_verify(args, parser) -> int:
+    """Certify a worst-case late-packet envelope and show the trace."""
+    import math
+
+    from repro.verify import (VerifySpec, PathBudget, compare_schemes,
+                              format_trace, max_late_envelope,
+                              max_starvation, resolve_engine,
+                              write_trace_jsonl)
+
+    if args.paths < 1:
+        parser.error("--paths must be >= 1")
+    if args.mu_round < 1:
+        parser.error("--mu-round must be >= 1")
+    if args.rounds <= args.tau:
+        parser.error("--rounds must exceed --tau")
+    rate = max(1, math.ceil(args.ratio * args.mu_round / args.paths))
+    slack = args.slack if args.slack is not None else rate
+    try:
+        spec = VerifySpec(
+            mu_r=args.mu_round, tau=args.tau, rounds=args.rounds,
+            paths=tuple(
+                PathBudget(rate=rate, slack=slack,
+                           loss=args.loss_budget,
+                           delay=args.path_delay,
+                           buffer=args.path_buffer)
+                for _ in range(args.paths)
+            ),
+            label="cli",
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+    cache = False if args.no_cache else (
+        result_cache.ResultCache(args.cache_dir) if args.cache_dir
+        else None)
+    engine = resolve_engine(spec, args.engine)
+
+    started = time.time()  # repro-lint: disable=RL001 -- progress timer
+    print(f"verify[{engine}] K={args.paths} rate={rate}/round "
+          f"(ratio {rate * args.paths / args.mu_round:g}) "
+          f"slack={slack} loss={args.loss_budget} "
+          f"mu_r={args.mu_round} tau={args.tau} T={args.rounds}")
+    if args.query == "compare":
+        cmp = compare_schemes(spec, engine=engine, cache=cache)
+        elapsed = time.time() - started  # repro-lint: disable=RL001 -- progress timer
+        for res in (cmp.dmp, cmp.static):
+            print(f"  {res.scheme}: certified max late "
+                  f"{res.max_late}/{res.total_packets} "
+                  f"({res.late_fraction:.3f}); >= "
+                  f"{res.unsat_threshold} is UNSAT")
+        verdict = ("DMP strictly better"
+                   if cmp.dmp_strictly_better else
+                   "no strict DMP advantage on this instance")
+        print(f"  advantage {cmp.advantage:+d} ({verdict}; "
+              f"{elapsed:.1f}s wall)")
+        witness = cmp.static.witness
+    elif args.query == "starve":
+        sres = max_starvation(spec, scheme=args.scheme,
+                              engine=engine, cache=cache)
+        elapsed = time.time() - started  # repro-lint: disable=RL001 -- progress timer
+        print(f"  {args.scheme}: playout can starve for at most "
+              f"{sres.max_rounds} consecutive round(s) "
+              f"({elapsed:.1f}s wall)")
+        witness = sres.witness
+    else:
+        res = max_late_envelope(spec, scheme=args.scheme,
+                                engine=engine, cache=cache)
+        elapsed = time.time() - started  # repro-lint: disable=RL001 -- progress timer
+        print(f"  {args.scheme}: certified max late "
+              f"{res.max_late}/{res.total_packets} "
+              f"({res.late_fraction:.3f}); no trace reaches "
+              f"{res.unsat_threshold} (UNSAT certificate; "
+              f"{elapsed:.1f}s wall"
+              + (", cached" if res.from_cache else "") + ")")
+        witness = res.witness
+    print("adversarial witness trace:")
+    print(format_trace(witness))
+    if args.cex_out:
+        with open(args.cex_out, "w", encoding="utf-8") as handle:
+            write_trace_jsonl(witness, handle)
+        print(f"[wrote counterexample trace to {args.cex_out}]")
+    return 0
+
+
 def main(argv=None) -> int:
     """Entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -180,10 +274,11 @@ def main(argv=None) -> int:
     parser.add_argument(
         "target",
         choices=sorted(BUILDERS) + ["all", "list", "trace",
-                                    "campaign"],
+                                    "campaign", "verify"],
         help="which artefact to regenerate ('trace' runs one "
              "instrumented session, 'campaign' runs N concurrent "
-             "sessions on one bottleneck)")
+             "sessions on one bottleneck, 'verify' certifies a "
+             "worst-case late-packet envelope)")
     parser.add_argument(
         "--scale", choices=["quick", "full", "paper"], default=None,
         help="scale profile (default: $REPRO_SCALE or quick)")
@@ -257,15 +352,74 @@ def main(argv=None) -> int:
         help="campaign solver: the packet-level simulator or the "
              "deterministic mean-field population ODE (cost "
              "independent of --sessions; default: packet)")
+    group = parser.add_argument_group("verify target")
+    group.add_argument(
+        "--paths", type=int, default=2, metavar="K",
+        help="number of paths (default: 2)")
+    group.add_argument(
+        "--ratio", type=float, default=1.6,
+        help="aggregate provisioning ratio; per-path rate is "
+             "ceil(ratio * mu_r / K) (default: 1.6)")
+    group.add_argument(
+        "--tau", type=int, default=2, metavar="R",
+        help="startup delay in rounds (default: 2)")
+    group.add_argument(
+        "--rounds", type=int, default=12, metavar="T",
+        help="horizon in rounds (default: 12)")
+    group.add_argument(
+        "--loss-budget", type=int, default=1, metavar="L",
+        help="adversarial losses allowed per path over the horizon "
+             "(default: 1)")
+    group.add_argument(
+        "--mu-round", type=int, default=4, metavar="N",
+        help="packets generated per round (default: 4)")
+    group.add_argument(
+        "--slack", type=int, default=None, metavar="W",
+        help="per-path service slack budget (default: one full "
+             "round of outage, i.e. the path rate)")
+    group.add_argument(
+        "--path-delay", type=int, default=0, metavar="D",
+        help="per-path delivery delay in rounds (default: 0)")
+    group.add_argument(
+        "--path-buffer", type=int, default=4, metavar="B",
+        help="per-path send-buffer capacity in packets (default: 4)")
+    group.add_argument(
+        "--engine", choices=["auto", "z3", "exhaustive"],
+        default="auto",
+        help="verification engine (default: z3 when installed, "
+             "else exhaustive search on small instances)")
+    group.add_argument(
+        "--query", choices=["envelope", "starve", "compare"],
+        default="envelope",
+        help="what to certify: the max-late envelope, the longest "
+             "possible playout starvation, or a DMP-vs-static "
+             "comparison (default: envelope)")
+    group.add_argument(
+        "--cex-out", default=None, metavar="FILE",
+        help="write the adversarial witness trace to FILE as JSON "
+             "lines")
     args = parser.parse_args(argv)
 
+    try:
+        return _dispatch(parser, args)
+    except MissingDependencyError as exc:
+        return _report_missing_dependency(exc)
+
+
+def _dispatch(parser, args) -> int:
+    """Route one parsed invocation (split from :func:`main` so every
+    target shares the optional-dependency error path)."""
     if args.target == "list":
-        for name in sorted(BUILDERS) + ["trace", "campaign"]:
+        for name in sorted(BUILDERS) + ["trace", "campaign",
+                                        "verify"]:
             print(name)
         return 0
 
     if args.target == "trace":
         return _run_trace(args)
+
+    if args.target == "verify":
+        return _run_verify(args, parser)
 
     if args.target == "campaign":
         if args.sessions < 1:

@@ -1,0 +1,69 @@
+"""Shared handling for optional-dependency features.
+
+Some subsystems (the SMT verifier, potentially plotting or export
+backends later) depend on packages that are deliberately *not* part of
+the core install.  Every entry point that exposes such a feature should
+fail the same way: raise :class:`MissingDependencyError`, which carries
+the pip extra and the missing distribution, and let the CLI translate
+it into one consistent exit code and install hint.
+
+The CLI maps :class:`MissingDependencyError` to
+:data:`EXIT_MISSING_DEPENDENCY` (3) so scripts can distinguish "feature
+not installed" from "feature failed" (1) and "bad arguments" (2).
+"""
+
+from __future__ import annotations
+
+import importlib
+from types import ModuleType
+
+__all__ = [
+    "EXIT_MISSING_DEPENDENCY",
+    "MissingDependencyError",
+    "optional_import",
+]
+
+# argparse uses 2 for usage errors; 1 is a generic failure.
+EXIT_MISSING_DEPENDENCY = 3
+
+
+class MissingDependencyError(RuntimeError):
+    """An optional feature was requested but its dependency is absent.
+
+    ``module`` is the importable module name that failed, ``extra`` the
+    pip extra of this project that provides it (``pip install
+    "repro[<extra>]"``), and ``package`` the PyPI distribution for a
+    direct install hint.
+    """
+
+    def __init__(self, module: str, *, extra: str, package: str) -> None:
+        self.module = module
+        self.extra = extra
+        self.package = package
+        super().__init__(
+            f"optional dependency {module!r} is not installed"
+        )
+
+    def hint(self) -> str:
+        """One-line install instruction for terminals and logs."""
+        return (
+            f'install it with:  pip install "repro[{self.extra}]"'
+            f"  (or: pip install {self.package})"
+        )
+
+
+def optional_import(
+    module: str, *, extra: str, package: str
+) -> ModuleType:
+    """Import ``module`` or raise :class:`MissingDependencyError`.
+
+    Central choke point so every optional feature reports absence the
+    same way (and so tests can monkeypatch one function to simulate a
+    missing dependency).
+    """
+    try:
+        return importlib.import_module(module)
+    except ImportError as exc:
+        raise MissingDependencyError(
+            module, extra=extra, package=package
+        ) from exc

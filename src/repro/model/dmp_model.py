@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+import numpy.typing as npt
 from scipy.sparse import csc_matrix
 from scipy.special import gammainc
 
@@ -39,6 +40,16 @@ from repro.model.tcp_chain import (
 )
 
 FlowLike = Union[FlowParams, TcpFlowChain]
+
+FloatArray = npt.NDArray[np.float64]
+IntArray = npt.NDArray[np.int64]
+
+#: One state's flattened outcome row: cumulative probabilities,
+#: next-state ids, delivered packet counts.
+OutcomeTable = Tuple[FloatArray, IntArray, IntArray]
+
+#: One chain's table: per-state rates plus per-state outcome rows.
+ChainTable = Tuple[FloatArray, List[OutcomeTable]]
 
 
 def expected_excess(lam: float, m: int) -> float:
@@ -79,7 +90,8 @@ class LateFractionEstimate:
 class DmpModel:
     """Analytical model of DMP-streaming over K paths."""
 
-    def __init__(self, flows: Sequence[FlowLike], mu: float, tau: float):
+    def __init__(self, flows: Sequence[FlowLike], mu: float,
+                 tau: float) -> None:
         if not flows:
             raise ValueError("need at least one flow")
         if mu <= 0:
@@ -92,15 +104,17 @@ class DmpModel:
         self.mu = float(mu)
         self.tau = float(tau)
         self.nmax = max(1, int(round(mu * tau)))
+        #: Padded outcome tables for the vectorized kernels, built on
+        #: first use by :func:`repro.model.mc_kernel.compiled_model`.
+        self._compiled: Optional[_kernel.CompiledModel] = None
 
     # ------------------------------------------------------------------
     def with_tau(self, tau: float) -> "DmpModel":
         """Same flows and rate, different startup delay (chains reused)."""
         clone = DmpModel(self.chains, self.mu, tau)
-        compiled = getattr(self, "_compiled", None)
-        if compiled is not None:
+        if self._compiled is not None:
             # The compiled outcome tables depend only on the chains.
-            clone._compiled = compiled
+            clone._compiled = self._compiled
         return clone
 
     def aggregate_throughput(self) -> float:
@@ -116,7 +130,7 @@ class DmpModel:
     # ------------------------------------------------------------------
     # Monte-Carlo solver
     # ------------------------------------------------------------------
-    def _compile_tables(self):
+    def _compile_tables(self) -> List[ChainTable]:
         """Flatten chain outcome lists into numpy arrays for sampling.
 
         Outcome probabilities are validated (they must sum to 1 within
@@ -125,9 +139,9 @@ class DmpModel:
         ``searchsorted`` over them can never select past the last
         outcome for a uniform draw in ``[0, 1)``.
         """
-        tables = []
+        tables: List[ChainTable] = []
         for chain in self.chains:
-            per_state = []
+            per_state: List[OutcomeTable] = []
             for sid, outs in enumerate(chain.outcomes):
                 probs = np.array([prob for prob, _, _ in outs])
                 total = float(probs.sum())

@@ -36,12 +36,21 @@ from __future__ import annotations
 
 import os
 import warnings
-from typing import List, Optional, Sequence
+from typing import (TYPE_CHECKING, Dict, List, Optional, Sequence,
+                    Tuple)
 
 import numpy as np
+import numpy.typing as npt
 from scipy.special import gammainc
 
 from repro import telemetry
+
+if TYPE_CHECKING:
+    from repro.model.dmp_model import DmpModel, LateFractionEstimate
+    from repro.model.tcp_chain import TcpFlowChain
+
+FloatArray = npt.NDArray[np.float64]
+IntArray = npt.NDArray[np.int64]
 
 KERNELS = ("vectorized", "legacy")
 ENV_KERNEL = "REPRO_MC_KERNEL"
@@ -71,7 +80,7 @@ BURN_IN_FRACTION = 0.4
 # ---------------------------------------------------------------------
 # Kernel selection
 # ---------------------------------------------------------------------
-_default: dict = {"kernel": None}
+_default: Dict[str, Optional[str]] = {"kernel": None}
 
 
 def configure(kernel: Optional[str] = None) -> None:
@@ -88,8 +97,9 @@ def configure(kernel: Optional[str] = None) -> None:
 
 def default_kernel() -> str:
     """Resolve the default kernel (configure > env > vectorized)."""
-    if _default["kernel"] is not None:
-        return _default["kernel"]
+    configured = _default["kernel"]
+    if configured is not None:
+        return configured
     env = os.environ.get(ENV_KERNEL)
     if env:
         if env in KERNELS:
@@ -112,25 +122,24 @@ def resolve_kernel(kernel: Optional[str]) -> str:
 # ---------------------------------------------------------------------
 # Rao-Blackwellised late accounting, array form
 # ---------------------------------------------------------------------
-def expected_excess_array(lam: np.ndarray,
-                          m: np.ndarray) -> np.ndarray:
+def expected_excess_array(lam: npt.ArrayLike,
+                          m: npt.ArrayLike) -> FloatArray:
     """E[(X - m)^+] for X ~ Poisson(lam), elementwise over arrays.
 
     The array form of :func:`repro.model.dmp_model.expected_excess`,
     using the same identity ``E[(X-m)^+] = lam*P(X>=m) - m*P(X>=m+1)``
     with ``P(X >= n) = gammainc(n, lam)``.
     """
-    lam = np.asarray(lam, dtype=float)
-    m = np.asarray(m)
-    lam, m = np.broadcast_arrays(lam, m)
-    out = np.zeros(lam.shape)
-    pos = lam > 0.0
-    zero_m = pos & (m == 0)
-    out[zero_m] = lam[zero_m]
-    rest = pos & (m > 0)
+    lam_b, m_b = np.broadcast_arrays(np.asarray(lam, dtype=float),
+                                     np.asarray(m))
+    out: FloatArray = np.zeros(lam_b.shape)
+    pos = lam_b > 0.0
+    zero_m = pos & (m_b == 0)
+    out[zero_m] = lam_b[zero_m]
+    rest = pos & (m_b > 0)
     if rest.any():
-        lr = lam[rest]
-        mr = m[rest].astype(float)
+        lr = lam_b[rest]
+        mr = m_b[rest].astype(float)
         out[rest] = lr * gammainc(mr, lr) - mr * gammainc(mr + 1.0, lr)
     return out
 
@@ -158,7 +167,7 @@ class CompiledModel:
     the chain, not something to paper over at sampling time.
     """
 
-    def __init__(self, chains: Sequence):
+    def __init__(self, chains: Sequence["TcpFlowChain"]) -> None:
         self.k = len(chains)
         offsets = [0]
         for chain in chains:
@@ -192,11 +201,12 @@ class CompiledModel:
                 self.sval[row, :w] = [s for _, _, s in outs]
 
     def chain_state_ids(self, chain_idx: int,
-                        local_ids: np.ndarray) -> np.ndarray:
+                        local_ids: IntArray) -> IntArray:
         """Translate chain-local state ids to global ids."""
         return self.offsets[chain_idx] + local_ids
 
-    def sample_outcomes(self, firing: np.ndarray, u: np.ndarray):
+    def sample_outcomes(self, firing: IntArray,
+                        u: FloatArray) -> Tuple[IntArray, IntArray]:
         """Row-wise outcome sampling: ``searchsorted`` over cum rows.
 
         ``firing`` holds global state ids, ``u`` uniforms in [0, 1).
@@ -207,9 +217,9 @@ class CompiledModel:
         return self.nxt[firing, out], self.sval[firing, out]
 
 
-def compiled_model(model) -> CompiledModel:
+def compiled_model(model: "DmpModel") -> CompiledModel:
     """The model's compiled tables, built once and cached on it."""
-    cached = getattr(model, "_compiled", None)
+    cached = model._compiled
     if cached is None:
         tel = telemetry.current()
         with tel.span("mc.compile", flows=len(model.chains)) as sp:
@@ -233,7 +243,8 @@ class BlockDraws:
     """
 
     def __init__(self, rng: np.random.Generator, row: int,
-                 n_exp: int = 1, n_uni: int = 3, steps: int = 64):
+                 n_exp: int = 1, n_uni: int = 3,
+                 steps: int = 64) -> None:
         self.rng = rng
         self.row = row
         self.n_exp = n_exp
@@ -241,9 +252,10 @@ class BlockDraws:
         self.steps = steps
         self.refills = 0
         self._cursor = steps
-        self._exp = self._uni = None
+        self._exp: Optional[FloatArray] = None
+        self._uni: Optional[FloatArray] = None
 
-    def next_step(self):
+    def next_step(self) -> Tuple[FloatArray, ...]:
         """One step's draws: ``n_exp`` exponential rows followed by
         ``n_uni`` uniform rows, as a tuple of 1D arrays."""
         if self._cursor >= self.steps:
@@ -253,9 +265,11 @@ class BlockDraws:
             self._uni = self.rng.random(
                 (self.steps, self.n_uni, self.row))
             self._cursor = 0
+        exp_blk, uni_blk = self._exp, self._uni
+        assert exp_blk is not None and uni_blk is not None
         i = self._cursor
         self._cursor += 1
-        return (*self._exp[i], *self._uni[i])
+        return (*exp_blk[i], *uni_blk[i])
 
 
 # ---------------------------------------------------------------------
@@ -281,9 +295,10 @@ def stationary_replica_count(horizon_s: float, burn_in_s: float,
     return max(batches, (replicas // batches) * batches)
 
 
-def stationary_late_fraction(model, horizon_s: float, seed: int,
-                             burn_in_s: float, batches: int,
-                             replicas: Optional[int] = None):
+def stationary_late_fraction(
+        model: "DmpModel", horizon_s: float, seed: int,
+        burn_in_s: float, batches: int,
+        replicas: Optional[int] = None) -> "LateFractionEstimate":
     """Vectorized stationary late-fraction estimate.
 
     Telemetry: one ``mc.run`` span (label ``"stationary"``) carrying
@@ -323,9 +338,10 @@ def stationary_late_fraction(model, horizon_s: float, seed: int,
         return estimate
 
 
-def _stationary_impl(model, horizon_s: float, seed: int,
-                     burn_in_s: float, batches: int,
-                     replicas: Optional[int]):
+def _stationary_impl(
+        model: "DmpModel", horizon_s: float, seed: int,
+        burn_in_s: float, batches: int, replicas: Optional[int]
+) -> Tuple["LateFractionEstimate", int, int]:
     """The stationary loop; returns (estimate, replicas, blocks)."""
     from repro.model.dmp_model import LateFractionEstimate
 
@@ -383,7 +399,7 @@ def _stationary_impl(model, horizon_s: float, seed: int,
         s_blk = np.zeros((BLOCK, R), dtype=np.int64)
         f_blk = np.zeros((BLOCK, R), dtype=bool)
 
-        def flush_shares(upto):
+        def flush_shares(upto: int) -> None:
             stot = float(s_blk[:upto].sum())
             sflow1 = float((s_blk[:upto] * f_blk[:upto]).sum())
             shares[0] += stot - sflow1
@@ -488,8 +504,9 @@ def _stationary_impl(model, horizon_s: float, seed: int,
 # ---------------------------------------------------------------------
 # Transient kernel
 # ---------------------------------------------------------------------
-def transient_late_fraction(model, video_s: float, replications: int,
-                            seed: int):
+def transient_late_fraction(
+        model: "DmpModel", video_s: float, replications: int,
+        seed: int) -> "LateFractionEstimate":
     """Vectorized finite-video late fraction.
 
     The replications are the vector axis; the event semantics are the
@@ -514,8 +531,9 @@ def transient_late_fraction(model, video_s: float, replications: int,
         return estimate
 
 
-def _transient_impl(model, video_s: float, replications: int,
-                    seed: int):
+def _transient_impl(
+        model: "DmpModel", video_s: float, replications: int,
+        seed: int) -> Tuple["LateFractionEstimate", int]:
     """The transient loop; returns (estimate, blocks)."""
     from repro.model.dmp_model import LateFractionEstimate
 

@@ -1,0 +1,487 @@
+"""Counterexample traces: deterministic replay, tables, JSONL.
+
+The verifier's engines (z3 and exhaustive) only ever claim a late
+count together with the *adversary's choices* that achieve it.  The
+single source of truth for what those choices do is
+:func:`replay_trace`: a deterministic, pure-Python, trace-driven stub
+of the DMP data path.  Both engines' witnesses are replayed through it
+before a result is reported, so a claimed envelope is tight by
+construction — if an engine and the replay ever disagree, the
+discrepancy is raised, not papered over.
+
+Round semantics (one round = one playout tick):
+
+1. generation: ``mu_r`` packets enter the server queue (static scheme:
+   ``shares[k]`` enter path k's substream queue);
+2. fill (implicit pull): the queue drains work-conservingly into send
+   buffers with room; the adversary picks the split (DMP) — the static
+   scheme's split is forced by its substream queues;
+3. service: path k serves ``min(buffer, rate_k - w)`` packets, where
+   the withheld ``w`` draws down the path's slack budget;
+4. loss: up to the loss budget, served packets are "lost" — they
+   return to the send buffer (TCP retransmit), wasting the service;
+5. delivery: surviving packets arrive at the client ``delay_k`` rounds
+   later;
+6. playout: once ``t >= tau`` the client owes ``mu_r`` packets per
+   round; a round's late count is
+   ``min(new_due, max(0, due - arrived))`` — each packet is counted
+   late exactly once, at its own deadline round (arrivals are credited
+   to the earliest outstanding deadline first, matching in-order
+   delivery).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, IO, List, Optional, Sequence, Tuple
+
+from repro.verify.spec import PathBudget, VerifySpec
+
+__all__ = [
+    "AdversaryChoices",
+    "TraceRound",
+    "Trace",
+    "TraceViolation",
+    "replay_trace",
+    "format_trace",
+    "trace_to_jsonl",
+    "write_trace_jsonl",
+    "load_trace_jsonl",
+]
+
+SCHEMES = ("dmp", "static")
+
+
+class TraceViolation(ValueError):
+    """A trace or witness is inconsistent with its spec's budgets."""
+
+
+@dataclass(frozen=True)
+class AdversaryChoices:
+    """Per-round, per-path adversary decisions.
+
+    ``shortfall[t][k]`` — service withheld from path k in round t;
+    ``lost[t][k]`` — packets lost on path k in round t;
+    ``fill[t][k]`` — DMP only: packets pulled into path k's send
+    buffer in round t (must be a work-conserving split).  The static
+    scheme derives its fill deterministically, so ``fill`` is None.
+    """
+
+    shortfall: Tuple[Tuple[int, ...], ...]
+    lost: Tuple[Tuple[int, ...], ...]
+    fill: Optional[Tuple[Tuple[int, ...], ...]] = None
+
+
+@dataclass(frozen=True)
+class TraceRound:
+    """Everything that happened in one round (per-path tuples)."""
+
+    t: int
+    generated: int
+    fill: Tuple[int, ...]
+    shortfall: Tuple[int, ...]
+    served: Tuple[int, ...]
+    lost: Tuple[int, ...]
+    delivered: Tuple[int, ...]
+    arrived: Tuple[int, ...]
+    queue: Tuple[int, ...]       # DMP: (server queue,); static: per path
+    buffers: Tuple[int, ...]
+    client_cum: Tuple[int, ...]  # DMP: (total,); static: per substream
+    due: int
+    late: int
+    starved: bool
+
+
+@dataclass(frozen=True)
+class Trace:
+    spec: VerifySpec
+    scheme: str
+    rounds: Tuple[TraceRound, ...]
+    late_total: int
+    max_starvation: int
+
+
+def _as_row(
+    what: str, row: Sequence[int], k: int, t: int
+) -> Tuple[int, ...]:
+    vals = tuple(int(v) for v in row)
+    if len(vals) != k:
+        raise TraceViolation(
+            f"round {t}: {what} has {len(vals)} entries, "
+            f"expected {k}"
+        )
+    return vals
+
+
+def replay_trace(
+    spec: VerifySpec,
+    choices: AdversaryChoices,
+    scheme: str = "dmp",
+) -> Trace:
+    """Deterministically replay adversary ``choices`` against ``spec``.
+
+    Raises :class:`TraceViolation` if any choice violates a budget or
+    the work-conservation / blocking rules.  The returned trace's
+    ``late_total`` is *the* late count of this adversarial run.
+    """
+    if scheme not in SCHEMES:
+        raise TraceViolation(f"unknown scheme: {scheme!r}")
+    kk = spec.n_paths
+    tt = spec.rounds
+    for name, seq in (
+        ("shortfall", choices.shortfall),
+        ("lost", choices.lost),
+    ):
+        if len(seq) != tt:
+            raise TraceViolation(
+                f"{name} covers {len(seq)} rounds, expected {tt}"
+            )
+    if scheme == "dmp":
+        if choices.fill is None:
+            raise TraceViolation("DMP replay needs fill choices")
+        if len(choices.fill) != tt:
+            raise TraceViolation(
+                f"fill covers {len(choices.fill)} rounds, "
+                f"expected {tt}"
+            )
+
+    queue = [0] * (1 if scheme == "dmp" else kk)
+    client = [0] * (1 if scheme == "dmp" else kk)
+    buf = [0] * kk
+    pending: List[List[int]] = [
+        [0] * p.delay for p in spec.paths
+    ]
+    slack_used = [0] * kk
+    loss_used = [0] * kk
+    due_prev = [0] * len(client)
+    late_total = 0
+    streak = 0
+    max_streak = 0
+    rows: List[TraceRound] = []
+
+    for t in range(tt):
+        g = spec.generated(t)
+        if scheme == "dmp":
+            queue[0] += g
+        else:
+            for k in range(kk):
+                queue[k] += spec.shares[k] if g else 0
+
+        room = [spec.paths[k].buffer - buf[k] for k in range(kk)]
+        if scheme == "dmp":
+            assert choices.fill is not None
+            x = _as_row("fill", choices.fill[t], kk, t)
+            total_fill = min(queue[0], sum(room))
+            for k in range(kk):
+                if not 0 <= x[k] <= room[k]:
+                    raise TraceViolation(
+                        f"round {t}: fill {x[k]} outside room "
+                        f"[0, {room[k]}] on path {k}"
+                    )
+            if sum(x) != total_fill:
+                raise TraceViolation(
+                    f"round {t}: fill sums to {sum(x)}, work "
+                    f"conservation requires {total_fill}"
+                )
+            queue[0] -= total_fill
+        else:
+            x = tuple(
+                min(queue[k], room[k]) for k in range(kk)
+            )
+            for k in range(kk):
+                queue[k] -= x[k]
+        for k in range(kk):
+            buf[k] += x[k]
+
+        w = _as_row("shortfall", choices.shortfall[t], kk, t)
+        served = []
+        for k in range(kk):
+            p = spec.paths[k]
+            if not 0 <= w[k] <= p.rate:
+                raise TraceViolation(
+                    f"round {t}: shortfall {w[k]} outside "
+                    f"[0, {p.rate}] on path {k}"
+                )
+            if slack_used[k] + w[k] > p.slack:
+                raise TraceViolation(
+                    f"round {t}: slack budget {p.slack} exceeded "
+                    f"on path {k}"
+                )
+            slack_used[k] += w[k]
+            served.append(min(buf[k], p.rate - w[k]))
+
+        lam = _as_row("lost", choices.lost[t], kk, t)
+        delivered = []
+        for k in range(kk):
+            p = spec.paths[k]
+            if not 0 <= lam[k] <= served[k]:
+                raise TraceViolation(
+                    f"round {t}: loss {lam[k]} outside "
+                    f"[0, {served[k]}] on path {k}"
+                )
+            if loss_used[k] + lam[k] > p.loss:
+                raise TraceViolation(
+                    f"round {t}: loss budget {p.loss} exceeded "
+                    f"on path {k}"
+                )
+            loss_used[k] += lam[k]
+            delivered.append(served[k] - lam[k])
+            # Lost packets return to the send buffer (retransmit).
+            buf[k] -= delivered[k]
+
+        arrived = []
+        for k in range(kk):
+            if spec.paths[k].delay == 0:
+                arrived.append(delivered[k])
+            else:
+                arrived.append(pending[k].pop(0))
+                pending[k].append(0)
+                pending[k][spec.paths[k].delay - 1] += delivered[k]
+
+        late_t = 0
+        starved = False
+        if scheme == "dmp":
+            client[0] += sum(arrived)
+            due = spec.due_end(t)
+            inc = due - due_prev[0]
+            deficit = max(0, due - client[0])
+            late_t = min(inc, deficit)
+            starved = t >= spec.tau and deficit > 0
+            due_prev[0] = due
+        else:
+            due = 0
+            for k in range(kk):
+                client[k] += arrived[k]
+                due_k = spec.path_due_end(k, t)
+                due += due_k
+                inc = due_k - due_prev[k]
+                deficit = max(0, due_k - client[k])
+                late_t += min(inc, deficit)
+                starved = starved or (
+                    t >= spec.tau and deficit > 0
+                )
+                due_prev[k] = due_k
+        late_total += late_t
+        streak = streak + 1 if starved else 0
+        max_streak = max(max_streak, streak)
+
+        rows.append(
+            TraceRound(
+                t=t,
+                generated=g,
+                fill=tuple(x),
+                shortfall=w,
+                served=tuple(served),
+                lost=lam,
+                delivered=tuple(delivered),
+                arrived=tuple(arrived),
+                queue=tuple(queue),
+                buffers=tuple(buf),
+                client_cum=tuple(client),
+                due=due,
+                late=late_t,
+                starved=starved,
+            )
+        )
+
+    return Trace(
+        spec=spec,
+        scheme=scheme,
+        rounds=tuple(rows),
+        late_total=late_total,
+        max_starvation=max_streak,
+    )
+
+
+# -- rendering --------------------------------------------------------
+
+
+def _cell(vals: Tuple[int, ...]) -> str:
+    return "/".join(str(v) for v in vals)
+
+
+def format_trace(trace: Trace) -> str:
+    """Render a trace as a fixed-width per-round table (per-path
+    columns joined with ``/``)."""
+    spec = trace.spec
+    head = (
+        f"scheme={trace.scheme} K={spec.n_paths} mu_r={spec.mu_r} "
+        f"tau={spec.tau} T={spec.rounds} "
+        f"N={spec.total_packets} late={trace.late_total} "
+        f"max_starve={trace.max_starvation}"
+    )
+    cols = [
+        "t", "gen", "queue", "fill", "wdrawn", "served",
+        "lost", "dlvrd", "arrvd", "buf", "client", "due", "late",
+    ]
+    body: List[List[str]] = []
+    for r in trace.rounds:
+        body.append([
+            str(r.t), str(r.generated), _cell(r.queue),
+            _cell(r.fill), _cell(r.shortfall), _cell(r.served),
+            _cell(r.lost), _cell(r.delivered), _cell(r.arrived),
+            _cell(r.buffers), _cell(r.client_cum), str(r.due),
+            str(r.late) + ("*" if r.starved else ""),
+        ])
+    widths = [
+        max(len(cols[i]), *(len(row[i]) for row in body))
+        if body else len(cols[i])
+        for i in range(len(cols))
+    ]
+    lines = [head]
+    lines.append(
+        "  ".join(c.rjust(widths[i]) for i, c in enumerate(cols))
+    )
+    for row in body:
+        lines.append(
+            "  ".join(
+                c.rjust(widths[i]) for i, c in enumerate(row)
+            )
+        )
+    lines.append("(* = playout buffer starved that round)")
+    return "\n".join(lines)
+
+
+# -- JSONL ------------------------------------------------------------
+# Same shape as the repro.obs JSONL sinks: one self-describing JSON
+# object per line, with a "kind" discriminator.
+
+
+def _spec_to_json(spec: VerifySpec, scheme: str) -> Dict[str, object]:
+    return {
+        "kind": "verify-spec",
+        "scheme": scheme,
+        "mu_r": spec.mu_r,
+        "tau": spec.tau,
+        "rounds": spec.rounds,
+        "gen_rounds": spec.generation_rounds,
+        "static_shares": list(spec.shares),
+        "label": spec.label,
+        "paths": [
+            {
+                "rate": p.rate,
+                "slack": p.slack,
+                "loss": p.loss,
+                "delay": p.delay,
+                "buffer": p.buffer,
+            }
+            for p in spec.paths
+        ],
+    }
+
+
+def _spec_from_json(obj: Dict[str, Any]) -> Tuple[VerifySpec, str]:
+    paths = tuple(
+        PathBudget(
+            rate=int(p["rate"]),
+            slack=int(p["slack"]),
+            loss=int(p["loss"]),
+            delay=int(p["delay"]),
+            buffer=int(p["buffer"]),
+        )
+        for p in obj["paths"]
+    )
+    spec = VerifySpec(
+        mu_r=int(obj["mu_r"]),
+        tau=int(obj["tau"]),
+        rounds=int(obj["rounds"]),
+        paths=paths,
+        gen_rounds=int(obj["gen_rounds"]),
+        static_shares=tuple(int(s) for s in obj["static_shares"]),
+        label=str(obj.get("label", "")),
+    )
+    return spec, str(obj["scheme"])
+
+
+def trace_to_jsonl(trace: Trace) -> str:
+    """Serialize a trace: spec header, one line per round, summary."""
+    lines = [json.dumps(_spec_to_json(trace.spec, trace.scheme))]
+    for r in trace.rounds:
+        lines.append(json.dumps({
+            "kind": "round",
+            "t": r.t,
+            "generated": r.generated,
+            "fill": list(r.fill),
+            "shortfall": list(r.shortfall),
+            "served": list(r.served),
+            "lost": list(r.lost),
+            "delivered": list(r.delivered),
+            "arrived": list(r.arrived),
+            "queue": list(r.queue),
+            "buffers": list(r.buffers),
+            "client_cum": list(r.client_cum),
+            "due": r.due,
+            "late": r.late,
+            "starved": r.starved,
+        }))
+    lines.append(json.dumps({
+        "kind": "summary",
+        "late_total": trace.late_total,
+        "max_starvation": trace.max_starvation,
+        "total_packets": trace.spec.total_packets,
+    }))
+    return "\n".join(lines) + "\n"
+
+
+def write_trace_jsonl(trace: Trace, fp: IO[str]) -> None:
+    fp.write(trace_to_jsonl(trace))
+
+
+def load_trace_jsonl(fp: IO[str]) -> Trace:
+    """Load a trace file and *re-verify* it: the adversary choices are
+    replayed through :func:`replay_trace` and every recorded round —
+    and the summary — must match exactly.  A tampered or stale file
+    raises :class:`TraceViolation`."""
+    lines = [
+        json.loads(line)
+        for line in fp.read().splitlines()
+        if line.strip()
+    ]
+    if not lines or lines[0].get("kind") != "verify-spec":
+        raise TraceViolation("missing verify-spec header line")
+    if lines[-1].get("kind") != "summary":
+        raise TraceViolation("missing summary line")
+    spec, scheme = _spec_from_json(lines[0])
+    rounds = [obj for obj in lines[1:-1] if obj.get("kind") == "round"]
+    if len(rounds) != spec.rounds:
+        raise TraceViolation(
+            f"file has {len(rounds)} round lines, spec says "
+            f"{spec.rounds}"
+        )
+    choices = AdversaryChoices(
+        shortfall=tuple(
+            tuple(int(v) for v in obj["shortfall"]) for obj in rounds
+        ),
+        lost=tuple(
+            tuple(int(v) for v in obj["lost"]) for obj in rounds
+        ),
+        fill=tuple(
+            tuple(int(v) for v in obj["fill"]) for obj in rounds
+        ) if scheme == "dmp" else None,
+    )
+    trace = replay_trace(spec, choices, scheme=scheme)
+    summary = lines[-1]
+    if int(summary["late_total"]) != trace.late_total:
+        raise TraceViolation(
+            f"summary claims late_total="
+            f"{summary['late_total']}, replay gives "
+            f"{trace.late_total}"
+        )
+    if int(summary["max_starvation"]) != trace.max_starvation:
+        raise TraceViolation(
+            f"summary claims max_starvation="
+            f"{summary['max_starvation']}, replay gives "
+            f"{trace.max_starvation}"
+        )
+    for obj, r in zip(rounds, trace.rounds):
+        if (
+            int(obj["late"]) != r.late
+            or [int(v) for v in obj["client_cum"]]
+            != list(r.client_cum)
+            or [int(v) for v in obj["buffers"]] != list(r.buffers)
+        ):
+            raise TraceViolation(
+                f"round {r.t} in file disagrees with replay"
+            )
+    return trace

@@ -1,0 +1,402 @@
+"""Exhaustive adversary search for small verification instances.
+
+A second, z3-free certification engine: enumerate *every*
+budget-respecting adversary by depth-first search with memoization
+over reachable system states, and return the exact optimum together
+with a witness.  On the tiny configs used in tests this is complete —
+the same guarantee as the SMT engine — so the two engines can certify
+each other (and the test suite stays meaningful on machines without
+``z3-solver`` installed).
+
+The state space is pruned only by two *dominance* arguments, both
+without loss of generality:
+
+* service shortfall is canonicalized: to make a path serve ``s``
+  packets this round, the adversary spends the minimal slack that
+  achieves ``s`` (spending more slack for the same effect leaves the
+  adversary with a subset of its future options);
+* the client arrival counter is capped at the stream totals (arrivals
+  beyond everything ever due cannot influence lateness).
+
+Everything else — fill splits, loss placement — is enumerated in full.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.verify.cex import AdversaryChoices
+from repro.verify.spec import VerifySpec
+
+__all__ = [
+    "VerifyTooLarge",
+    "exhaustive_feasible",
+    "max_late_exhaustive",
+    "max_starvation_exhaustive",
+]
+
+# Static pre-guard used by engine auto-selection; the DFS additionally
+# enforces max_states at runtime.
+_MAX_PACKETS = 64
+_MAX_ROUNDS = 24
+_MAX_PATHS = 3
+DEFAULT_MAX_STATES = 400_000
+
+# state := (queue, buf, pending, slack_used, loss_used, client)
+_State = Tuple[
+    Tuple[int, ...],
+    Tuple[int, ...],
+    Tuple[Tuple[int, ...], ...],
+    Tuple[int, ...],
+    Tuple[int, ...],
+    Tuple[int, ...],
+]
+# choice := (fill, shortfall, lost)
+_Choice = Tuple[Tuple[int, ...], Tuple[int, ...], Tuple[int, ...]]
+
+
+class VerifyTooLarge(ValueError):
+    """The instance exceeds what exhaustive search can enumerate."""
+
+
+def exhaustive_feasible(spec: VerifySpec) -> bool:
+    """Cheap static guard: is this spec small enough to even try?"""
+    return (
+        spec.total_packets <= _MAX_PACKETS
+        and spec.rounds <= _MAX_ROUNDS
+        and spec.n_paths <= _MAX_PATHS
+    )
+
+
+def _initial_state(spec: VerifySpec, scheme: str) -> _State:
+    kk = spec.n_paths
+    streams = 1 if scheme == "dmp" else kk
+    return (
+        (0,) * streams,
+        (0,) * kk,
+        tuple((0,) * p.delay for p in spec.paths),
+        (0,) * kk,
+        (0,) * kk,
+        (0,) * streams,
+    )
+
+
+def _client_caps(spec: VerifySpec, scheme: str) -> Tuple[int, ...]:
+    if scheme == "dmp":
+        return (spec.total_packets,)
+    return tuple(
+        s * spec.generation_rounds for s in spec.shares
+    )
+
+
+def _fill_splits(
+    room: List[int], total: int
+) -> Iterator[Tuple[int, ...]]:
+    """All ways to place ``total`` packets into buffers with the given
+    per-path room (the implicit-pull adversary's choice)."""
+    kk = len(room)
+
+    def rec(k: int, left: int, acc: List[int]) -> Iterator[
+        Tuple[int, ...]
+    ]:
+        if k == kk - 1:
+            if 0 <= left <= room[k]:
+                yield tuple(acc + [left])
+            return
+        tail_room = sum(room[k + 1:])
+        lo = max(0, left - tail_room)
+        hi = min(room[k], left)
+        for v in range(lo, hi + 1):
+            yield from rec(k + 1, left - v, acc + [v])
+
+    yield from rec(0, total, [])
+
+
+def _served_options(
+    buf_after: int, rate: int, slack_left: int
+) -> List[Tuple[int, int]]:
+    """Canonical (served, shortfall) pairs for one path this round.
+
+    Serving the maximum costs no slack; each packet withheld below
+    that costs exactly one slack token (minimal-spend dominance, see
+    module docstring)."""
+    full = min(buf_after, rate)
+    opts = [(full, 0)]
+    for served in range(full - 1, -1, -1):
+        w = rate - served
+        if w > slack_left:
+            break
+        opts.append((served, w))
+    return opts
+
+
+def _expand(
+    spec: VerifySpec, scheme: str, t: int, state: _State,
+    caps: Tuple[int, ...],
+) -> Iterator[Tuple[_Choice, _State, int, bool]]:
+    """Yield (choice, next_state, late_increment, starved) for every
+    canonical adversary move in round ``t``."""
+    queue, buf, pending, slack_used, loss_used, client = state
+    kk = spec.n_paths
+    g = spec.generated(t)
+
+    if scheme == "dmp":
+        q0 = queue[0] + g
+        room = [spec.paths[k].buffer - buf[k] for k in range(kk)]
+        total_fill = min(q0, sum(room))
+        fills = list(_fill_splits(room, total_fill))
+        queues_after = [(q0 - total_fill,)] * len(fills)
+    else:
+        qs = [
+            queue[k] + (spec.shares[k] if g else 0)
+            for k in range(kk)
+        ]
+        room = [spec.paths[k].buffer - buf[k] for k in range(kk)]
+        x = tuple(min(qs[k], room[k]) for k in range(kk))
+        fills = [x]
+        queues_after = [
+            tuple(qs[k] - x[k] for k in range(kk))
+        ]
+
+    for x, q_after in zip(fills, queues_after):
+        buf_after = [buf[k] + x[k] for k in range(kk)]
+        per_path_sw: List[List[Tuple[int, int]]] = [
+            _served_options(
+                buf_after[k],
+                spec.paths[k].rate,
+                spec.paths[k].slack - slack_used[k],
+            )
+            for k in range(kk)
+        ]
+        for sw in _product(per_path_sw):
+            served = tuple(s for s, _ in sw)
+            shortfall = tuple(w for _, w in sw)
+            slack_next = tuple(
+                slack_used[k] + shortfall[k] for k in range(kk)
+            )
+            per_path_loss = [
+                range(
+                    0,
+                    min(
+                        served[k],
+                        spec.paths[k].loss - loss_used[k],
+                    ) + 1,
+                )
+                for k in range(kk)
+            ]
+            for lam in _product_ranges(per_path_loss):
+                loss_next = tuple(
+                    loss_used[k] + lam[k] for k in range(kk)
+                )
+                delivered = tuple(
+                    served[k] - lam[k] for k in range(kk)
+                )
+                buf_next = tuple(
+                    buf_after[k] - delivered[k] for k in range(kk)
+                )
+                arrived = []
+                pend_next: List[Tuple[int, ...]] = []
+                for k in range(kk):
+                    d = spec.paths[k].delay
+                    if d == 0:
+                        arrived.append(delivered[k])
+                        pend_next.append(())
+                    else:
+                        arrived.append(pending[k][0])
+                        shifted = list(pending[k][1:]) + [0]
+                        shifted[d - 1] += delivered[k]
+                        pend_next.append(tuple(shifted))
+
+                late_inc = 0
+                starved = False
+                if scheme == "dmp":
+                    a = min(client[0] + sum(arrived), caps[0])
+                    client_next: Tuple[int, ...] = (a,)
+                    due = spec.due_end(t)
+                    inc = due - spec.due_end(t - 1)
+                    deficit = max(0, due - a)
+                    late_inc = min(inc, deficit)
+                    starved = t >= spec.tau and deficit > 0
+                else:
+                    cl = []
+                    for k in range(kk):
+                        a = min(client[k] + arrived[k], caps[k])
+                        cl.append(a)
+                        due_k = spec.path_due_end(k, t)
+                        inc = due_k - spec.path_due_end(k, t - 1)
+                        deficit = max(0, due_k - a)
+                        late_inc += min(inc, deficit)
+                        starved = starved or (
+                            t >= spec.tau and deficit > 0
+                        )
+                    client_next = tuple(cl)
+
+                nstate: _State = (
+                    q_after, buf_next, tuple(pend_next),
+                    slack_next, loss_next, client_next,
+                )
+                yield (
+                    (x, shortfall, lam), nstate, late_inc, starved,
+                )
+
+
+def _product(
+    pools: List[List[Tuple[int, int]]]
+) -> Iterator[Tuple[Tuple[int, int], ...]]:
+    if not pools:
+        yield ()
+        return
+    for head in pools[0]:
+        for tail in _product(pools[1:]):
+            yield (head,) + tail
+
+
+def _product_ranges(
+    pools: List[range],
+) -> Iterator[Tuple[int, ...]]:
+    if not pools:
+        yield ()
+        return
+    for head in pools[0]:
+        for tail in _product_ranges(pools[1:]):
+            yield (head,) + tail
+
+
+def _choices_from_path(
+    spec: VerifySpec, scheme: str, path: List[_Choice]
+) -> AdversaryChoices:
+    return AdversaryChoices(
+        shortfall=tuple(c[1] for c in path),
+        lost=tuple(c[2] for c in path),
+        fill=tuple(c[0] for c in path)
+        if scheme == "dmp" else None,
+    )
+
+
+def max_late_exhaustive(
+    spec: VerifySpec,
+    scheme: str = "dmp",
+    max_states: int = DEFAULT_MAX_STATES,
+) -> Tuple[int, AdversaryChoices]:
+    """Exact maximum late count over all budget-respecting adversary
+    traces, with a witness achieving it."""
+    if not exhaustive_feasible(spec):
+        raise VerifyTooLarge(
+            f"spec too large for exhaustive search (N="
+            f"{spec.total_packets}, T={spec.rounds}, "
+            f"K={spec.n_paths}); use the z3 engine"
+        )
+    caps = _client_caps(spec, scheme)
+    memo: Dict[
+        Tuple[int, _State], Tuple[int, Optional[_Choice],
+                                  Optional[_State]]
+    ] = {}
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 10_000))
+    try:
+        def best(t: int, state: _State) -> int:
+            if t == spec.rounds:
+                return 0
+            key = (t, state)
+            hit = memo.get(key)
+            if hit is not None:
+                return hit[0]
+            if len(memo) >= max_states:
+                raise VerifyTooLarge(
+                    f"exhaustive search exceeded {max_states} "
+                    "states; use the z3 engine"
+                )
+            best_v = -1
+            best_c: Optional[_Choice] = None
+            best_n: Optional[_State] = None
+            for choice, nstate, late_inc, _ in _expand(
+                spec, scheme, t, state, caps
+            ):
+                v = late_inc + best(t + 1, nstate)
+                if v > best_v:
+                    best_v, best_c, best_n = v, choice, nstate
+            memo[key] = (best_v, best_c, best_n)
+            return best_v
+
+        s0 = _initial_state(spec, scheme)
+        value = best(0, s0)
+        path: List[_Choice] = []
+        t, state = 0, s0
+        while t < spec.rounds:
+            _, choice, nstate = memo[(t, state)]
+            assert choice is not None and nstate is not None
+            path.append(choice)
+            state = nstate
+            t += 1
+        return value, _choices_from_path(spec, scheme, path)
+    finally:
+        sys.setrecursionlimit(old_limit)
+
+
+def max_starvation_exhaustive(
+    spec: VerifySpec,
+    scheme: str = "dmp",
+    max_states: int = DEFAULT_MAX_STATES,
+) -> Tuple[int, AdversaryChoices]:
+    """Exact maximum number of *consecutive* starved playout rounds
+    (rounds ``t >= tau`` with a due-packet deficit), with witness."""
+    if not exhaustive_feasible(spec):
+        raise VerifyTooLarge(
+            f"spec too large for exhaustive search (N="
+            f"{spec.total_packets}, T={spec.rounds}, "
+            f"K={spec.n_paths}); use the z3 engine"
+        )
+    caps = _client_caps(spec, scheme)
+    memo: Dict[
+        Tuple[int, _State, int],
+        Tuple[int, Optional[_Choice], Optional[_State]],
+    ] = {}
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 10_000))
+    try:
+        def best(t: int, state: _State, streak: int) -> int:
+            if t == spec.rounds:
+                return 0
+            key = (t, state, streak)
+            hit = memo.get(key)
+            if hit is not None:
+                return hit[0]
+            if len(memo) >= max_states:
+                raise VerifyTooLarge(
+                    f"exhaustive search exceeded {max_states} "
+                    "states; use the z3 engine"
+                )
+            best_v = -1
+            best_c: Optional[_Choice] = None
+            best_n: Optional[_State] = None
+            for choice, nstate, _, starved in _expand(
+                spec, scheme, t, state, caps
+            ):
+                s2 = streak + 1 if starved else 0
+                v = max(s2, best(t + 1, nstate, s2))
+                if v > best_v:
+                    best_v, best_c, best_n = v, choice, nstate
+            memo[key] = (best_v, best_c, best_n)
+            return best_v
+
+        s0 = _initial_state(spec, scheme)
+        value = best(0, s0, 0)
+        path: List[_Choice] = []
+        t, state, streak = 0, s0, 0
+        while t < spec.rounds:
+            _, choice, nstate = memo[(t, state, streak)]
+            assert choice is not None and nstate is not None
+            path.append(choice)
+            # Recompute the streak transition for the stored child.
+            for c2, n2, _, starved in _expand(
+                spec, scheme, t, state, caps
+            ):
+                if c2 == choice and n2 == nstate:
+                    streak = streak + 1 if starved else 0
+                    break
+            state = nstate
+            t += 1
+        return value, _choices_from_path(spec, scheme, path)
+    finally:
+        sys.setrecursionlimit(old_limit)

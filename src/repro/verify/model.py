@@ -1,0 +1,291 @@
+"""z3 constraint encoding of the DMP data path.
+
+One constraint group per aspect of the dynamics, mirroring the CCAC
+exemplar's ``model.py`` layout: :func:`initial_conditions`,
+:func:`generation_and_fill` (work-conserving implicit pull),
+:func:`service_curves` (token-bucket service ``C_k·t - W_k(t)`` with
+bounded slack), :func:`loss_budgets` (lost packets re-enter the send
+buffer: conservation ``cum_served - cum_lost`` — delivered data —
+never decreases), :func:`buffer_bounds` (the paper's
+blocking/backpressure rule), :func:`client_delivery` (fixed per-path
+delay), and :func:`playout_deadlines` (each packet counted late once,
+at its own deadline round).
+
+The encoding is pure linear integer arithmetic over the
+:class:`~repro.verify.variables.Variables` trace — every constant is a
+Python ``int`` (repro-lint RL006 rejects float literals here, because
+a float that rounds inside a constraint silently changes what is being
+certified).
+
+These constraints are *exactly* the replay semantics of
+:func:`repro.verify.cex.replay_trace`; queries replay every witness to
+enforce that equivalence at runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from repro.experiments.optional_deps import optional_import
+from repro.verify.spec import VerifySpec
+from repro.verify.variables import Variables
+
+__all__ = [
+    "z3_module",
+    "encode",
+    "make_solver",
+]
+
+
+def z3_module() -> Any:
+    """Import z3 or raise the shared MissingDependencyError."""
+    return optional_import("z3", extra="verify", package="z3-solver")
+
+
+def _min(z3: Any, a: Any, b: Any) -> Any:
+    return z3.If(a <= b, a, b)
+
+
+def _prev(row: List[Any], t: int) -> Any:
+    """Value at the end of the previous round (0 before round 0)."""
+    return row[t - 1] if t > 0 else 0
+
+
+def initial_conditions(spec: VerifySpec, v: Variables,
+                       z3: Any) -> List[Any]:
+    """Everything empty before round 0 is folded into ``_prev``; what
+    remains is non-negativity of every trace variable."""
+    out: List[Any] = []
+    for grid in (v.fill, v.shortfall, v.served, v.lost,
+                 v.delivered, v.buf, v.cum_shortfall, v.cum_lost,
+                 v.cum_served):
+        for row in grid:
+            for var in row:
+                out.append(var >= 0)
+    for grid2 in (v.queue, v.client):
+        for row in grid2:
+            for var in row:
+                out.append(var >= 0)
+    for t in range(spec.rounds):
+        out.append(v.late[t] >= 0)
+        out.append(v.streak[t] >= 0)
+    return out
+
+
+def generation_and_fill(spec: VerifySpec, v: Variables,
+                        z3: Any) -> List[Any]:
+    """Source generation and the work-conserving implicit pull.
+
+    DMP: the adversary splits the forced total fill across paths with
+    buffer room.  Static: each substream queue drains into its own
+    path's buffer deterministically.
+    """
+    out: List[Any] = []
+    kk = spec.n_paths
+    for t in range(spec.rounds):
+        g = spec.generated(t)
+        rooms = [
+            spec.paths[k].buffer - (v.buf[k][t - 1] if t > 0 else 0)
+            for k in range(kk)
+        ]
+        if v.scheme == "dmp":
+            q_pre = _prev(v.queue[0], t) + g
+            fill_sum = z3.Sum([v.fill[k][t] for k in range(kk)])
+            room_sum = z3.Sum(rooms)
+            for k in range(kk):
+                out.append(v.fill[k][t] <= rooms[k])
+            out.append(fill_sum == _min(z3, q_pre, room_sum))
+            out.append(v.queue[0][t] == q_pre - fill_sum)
+        else:
+            for k in range(kk):
+                g_k = spec.shares[k] if g else 0
+                q_pre = _prev(v.queue[k], t) + g_k
+                out.append(
+                    v.fill[k][t] == _min(z3, q_pre, rooms[k])
+                )
+                out.append(
+                    v.queue[k][t] == q_pre - v.fill[k][t]
+                )
+    return out
+
+
+def service_curves(spec: VerifySpec, v: Variables,
+                   z3: Any) -> List[Any]:
+    """Token-bucket service: path k offers ``rate - shortfall``
+    packets per round and the cumulative shortfall never exceeds the
+    slack budget ``W_k`` (i.e. cumulative offered service stays above
+    ``C_k·(t+1) - W_k``).  Service is work-conserving against the
+    post-fill buffer: served = min(buffer, offered)."""
+    out: List[Any] = []
+    for k, p in enumerate(spec.paths):
+        for t in range(spec.rounds):
+            w = v.shortfall[k][t]
+            out.append(w <= p.rate)
+            out.append(
+                v.cum_shortfall[k][t]
+                == _prev(v.cum_shortfall[k], t) + w
+            )
+            out.append(v.cum_shortfall[k][t] <= p.slack)
+            buf_pre = _prev(v.buf[k], t) + v.fill[k][t]
+            out.append(
+                v.served[k][t]
+                == _min(z3, buf_pre, p.rate - w)
+            )
+            out.append(
+                v.cum_served[k][t]
+                == _prev(v.cum_served[k], t) + v.served[k][t]
+            )
+    return out
+
+
+def loss_budgets(spec: VerifySpec, v: Variables,
+                 z3: Any) -> List[Any]:
+    """Bounded adversarial loss with TCP retransmission semantics:
+    a lost packet consumed service but stays in the send buffer, so
+    delivered data ``cum_served - cum_lost`` is non-decreasing
+    (conservation — the stream is never thinned, only delayed)."""
+    out: List[Any] = []
+    for k, p in enumerate(spec.paths):
+        for t in range(spec.rounds):
+            out.append(v.lost[k][t] <= v.served[k][t])
+            out.append(
+                v.cum_lost[k][t]
+                == _prev(v.cum_lost[k], t) + v.lost[k][t]
+            )
+            out.append(v.cum_lost[k][t] <= p.loss)
+            out.append(
+                v.delivered[k][t]
+                == v.served[k][t] - v.lost[k][t]
+            )
+            # Conservation, stated CCAC-style even though it follows
+            # from delivered >= 0: A_f - L_f never decreases.
+            out.append(
+                v.cum_served[k][t] - v.cum_lost[k][t]
+                >= _prev(v.cum_served[k], t)
+                - _prev(v.cum_lost[k], t)
+            )
+    return out
+
+
+def buffer_bounds(spec: VerifySpec, v: Variables,
+                  z3: Any) -> List[Any]:
+    """Send-buffer occupancy: bounded by the socket buffer size
+    (blocking/backpressure), drained only by successful delivery."""
+    out: List[Any] = []
+    for k, p in enumerate(spec.paths):
+        for t in range(spec.rounds):
+            buf_pre = _prev(v.buf[k], t) + v.fill[k][t]
+            out.append(buf_pre <= p.buffer)
+            out.append(
+                v.buf[k][t] == buf_pre - v.delivered[k][t]
+            )
+            out.append(v.buf[k][t] <= p.buffer)
+    return out
+
+
+def client_delivery(spec: VerifySpec, v: Variables,
+                    z3: Any) -> List[Any]:
+    """Client arrivals: path k's deliveries land ``delay_k`` rounds
+    later; the client counter is monotone."""
+    out: List[Any] = []
+    kk = spec.n_paths
+    for t in range(spec.rounds):
+        if v.scheme == "dmp":
+            arr: List[Any] = []
+            for k in range(kk):
+                t_src = t - spec.paths[k].delay
+                if t_src >= 0:
+                    arr.append(v.delivered[k][t_src])
+            inc = z3.Sum(arr) if arr else 0
+            out.append(
+                v.client[0][t] == _prev(v.client[0], t) + inc
+            )
+            out.append(v.client[0][t] >= _prev(v.client[0], t))
+        else:
+            for k in range(kk):
+                t_src = t - spec.paths[k].delay
+                inc = v.delivered[k][t_src] if t_src >= 0 else 0
+                out.append(
+                    v.client[k][t]
+                    == _prev(v.client[k], t) + inc
+                )
+                out.append(
+                    v.client[k][t] >= _prev(v.client[k], t)
+                )
+    return out
+
+
+def playout_deadlines(spec: VerifySpec, v: Variables,
+                      z3: Any) -> List[Any]:
+    """Lateness and starvation accounting.
+
+    ``late[t] = min(new_due_t, max(0, due_t - client_t))`` counts each
+    packet late exactly once, at its own deadline round (arrivals are
+    credited to the earliest outstanding deadline, matching in-order
+    playout).  ``streak[t]`` counts consecutive starved playout rounds
+    for the starvation query.
+    """
+    out: List[Any] = []
+    kk = spec.n_paths
+    for t in range(spec.rounds):
+        if v.scheme == "dmp":
+            due = spec.due_end(t)
+            inc = due - spec.due_end(t - 1)
+            deficit = due - v.client[0][t]
+            pos = z3.If(deficit >= 0, deficit, 0)
+            out.append(v.late[t] == _min(z3, inc, pos))
+            starved = deficit >= 1
+        else:
+            terms: List[Any] = []
+            star_terms: List[Any] = []
+            for k in range(kk):
+                due_k = spec.path_due_end(k, t)
+                inc_k = due_k - spec.path_due_end(k, t - 1)
+                deficit_k = due_k - v.client[k][t]
+                pos_k = z3.If(deficit_k >= 0, deficit_k, 0)
+                terms.append(_min(z3, inc_k, pos_k))
+                star_terms.append(deficit_k >= 1)
+            out.append(v.late[t] == z3.Sum(terms))
+            starved = z3.Or(star_terms)
+        if t < spec.tau:
+            # Playout has not started: the client cannot starve.
+            out.append(v.streak[t] == 0)
+        else:
+            out.append(
+                v.streak[t]
+                == z3.If(starved, _prev(v.streak, t) + 1, 0)
+            )
+    out.append(v.late_total == z3.Sum(list(v.late)))
+    return out
+
+
+def encode(spec: VerifySpec, scheme: str = "dmp") \
+        -> Tuple[List[Any], Variables, Any]:
+    """Build the full constraint list for one instance.
+
+    Returns ``(constraints, variables, z3_module)``.
+    """
+    z3 = z3_module()
+    v = Variables(spec, scheme, z3)
+    constraints: List[Any] = []
+    for group in (
+        initial_conditions,
+        generation_and_fill,
+        service_curves,
+        loss_budgets,
+        buffer_bounds,
+        client_delivery,
+        playout_deadlines,
+    ):
+        constraints.extend(group(spec, v, z3))
+    return constraints, v, z3
+
+
+def make_solver(spec: VerifySpec, scheme: str = "dmp") \
+        -> Tuple[Any, Variables, Any]:
+    """A z3 Solver preloaded with the instance constraints."""
+    constraints, v, z3 = encode(spec, scheme)
+    solver = z3.Solver()
+    for c in constraints:
+        solver.add(c)
+    return solver, v, z3

@@ -1,0 +1,225 @@
+"""Problem specification for the SMT/exhaustive DMP verifier.
+
+Everything here is *integer* by design: the verifier reasons in
+discrete rounds (one round = one playout tick of ``mu_r`` packets) and
+integer packet counts, so that both the z3 encoding and the exhaustive
+engine are exact — no float rounding can creep into a certificate.
+
+A :class:`VerifySpec` describes the whole closed system:
+
+* a constant-rate source generating ``mu_r`` packets per round for
+  ``gen_rounds`` rounds into the server queue;
+* ``K`` paths, each a network-calculus service pair
+  (:class:`PathBudget`): per-round service up to ``rate`` with a
+  cumulative shortfall (slack) budget, a cumulative loss budget whose
+  lost packets are *retransmitted* (TCP semantics: loss wastes service,
+  it never drops stream data), a fixed delivery delay in rounds, and a
+  bounded send buffer with the paper's blocking/backpressure rule;
+* a client playout buffer that starts draining ``mu_r`` packets per
+  round after a startup delay of ``tau`` rounds.
+
+The adversary controls, within budgets: how the work-conserving fill
+is split across eligible paths (implicit pull), how much service each
+path withholds each round, and which served packets are lost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+__all__ = [
+    "PathBudget",
+    "VerifySpec",
+    "largest_remainder_shares",
+]
+
+
+@dataclass(frozen=True)
+class PathBudget:
+    """Integer network-calculus budgets for one path.
+
+    ``rate``
+        Maximum packets the path can serve per round (token rate
+        ``C_k`` of the service curve ``C_k * t - W_k(t)``).
+    ``slack``
+        Total service shortfall ``W_k`` the adversary may inject over
+        the whole horizon (cumulative token-bucket slack).
+    ``loss``
+        Total packets the adversary may lose on this path over the
+        horizon.  Lost packets return to the send buffer (TCP
+        retransmits), so loss burns service and delays delivery but
+        never removes stream data: conservation ``S_k - L_k``
+        (served minus lost, i.e. delivered) stays non-decreasing.
+    ``delay``
+        Delivery delay in whole rounds between leaving the send buffer
+        and arriving at the client (propagation + reordering bound).
+    ``buffer``
+        Send-buffer capacity in packets (the paper's per-connection
+        socket buffer that blocking/backpressure acts on).
+    """
+
+    rate: int
+    slack: int
+    loss: int
+    delay: int = 0
+    buffer: int = 4
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ValueError(f"rate must be >= 0: {self.rate}")
+        if self.slack < 0:
+            raise ValueError(f"slack must be >= 0: {self.slack}")
+        if self.loss < 0:
+            raise ValueError(f"loss must be >= 0: {self.loss}")
+        if self.delay < 0:
+            raise ValueError(f"delay must be >= 0: {self.delay}")
+        if self.buffer < 1:
+            raise ValueError(f"buffer must be >= 1: {self.buffer}")
+
+
+def largest_remainder_shares(
+    mu_r: int, rates: Tuple[int, ...]
+) -> Tuple[int, ...]:
+    """Split ``mu_r`` packets/round across paths proportionally to
+    ``rates`` using the largest-remainder method (ties to the earlier
+    path).  Used as the default static-scheme generation split."""
+    if mu_r < 0:
+        raise ValueError(f"mu_r must be >= 0: {mu_r}")
+    total = sum(rates)
+    if total <= 0:
+        # Degenerate: no capacity anywhere; give everything to path 0.
+        return tuple(
+            mu_r if k == 0 else 0 for k in range(len(rates))
+        )
+    floors = [mu_r * r // total for r in rates]
+    remainders = [
+        (mu_r * r % total, -k) for k, r in enumerate(rates)
+    ]
+    leftover = mu_r - sum(floors)
+    for _, neg_k in sorted(remainders, reverse=True)[:leftover]:
+        floors[-neg_k] += 1
+    return tuple(floors)
+
+
+@dataclass(frozen=True)
+class VerifySpec:
+    """One verification problem instance (see module docstring).
+
+    ``gen_rounds`` defaults to ``rounds - tau`` so that every generated
+    packet's playout deadline lands inside the horizon; explicit values
+    must respect ``tau + gen_rounds <= rounds`` for the same reason
+    (otherwise the envelope would silently ignore the tail packets).
+
+    ``static_shares`` fixes the static scheme's per-path generation
+    split; it defaults to a largest-remainder split proportional to
+    path rates.  The DMP scheme ignores it.
+    """
+
+    mu_r: int
+    tau: int
+    rounds: int
+    paths: Tuple[PathBudget, ...]
+    gen_rounds: Optional[int] = None  # repro-lint: disable=RL004 -- keyed via its resolved value _gen
+    static_shares: Optional[Tuple[int, ...]] = None  # repro-lint: disable=RL004 -- keyed via its resolved value _shares
+    label: str = ""  # repro-lint: disable=RL004 -- display name, no effect on results
+    # Derived, filled by __post_init__ (kept out of equality/repr).
+    _gen: int = field(
+        default=0, init=False, repr=False, compare=False
+    )
+    _shares: Tuple[int, ...] = field(
+        default=(), init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.mu_r < 1:
+            raise ValueError(f"mu_r must be >= 1: {self.mu_r}")
+        if self.tau < 0:
+            raise ValueError(f"tau must be >= 0: {self.tau}")
+        if self.rounds < 1:
+            raise ValueError(f"rounds must be >= 1: {self.rounds}")
+        if not self.paths:
+            raise ValueError("need at least one path")
+        if not isinstance(self.paths, tuple):
+            raise ValueError("paths must be a tuple of PathBudget")
+        gen = self.gen_rounds
+        if gen is None:
+            gen = self.rounds - self.tau
+        if gen < 1:
+            raise ValueError(
+                "no generation rounds: need rounds > tau or an "
+                f"explicit gen_rounds >= 1 (got {gen})"
+            )
+        if self.tau + gen > self.rounds:
+            raise ValueError(
+                f"horizon too short: tau + gen_rounds = "
+                f"{self.tau + gen} > rounds = {self.rounds} would "
+                "leave deadlines outside the window"
+            )
+        shares = self.static_shares
+        if shares is None:
+            shares = largest_remainder_shares(
+                self.mu_r, tuple(p.rate for p in self.paths)
+            )
+        if len(shares) != len(self.paths):
+            raise ValueError(
+                f"static_shares has {len(shares)} entries for "
+                f"{len(self.paths)} paths"
+            )
+        if any(s < 0 for s in shares):
+            raise ValueError(f"negative static share: {shares}")
+        if sum(shares) != self.mu_r:
+            raise ValueError(
+                f"static_shares must sum to mu_r={self.mu_r}: "
+                f"{shares}"
+            )
+        object.__setattr__(self, "_gen", gen)
+        object.__setattr__(self, "_shares", tuple(shares))
+
+    # -- derived quantities -------------------------------------------
+
+    @property
+    def n_paths(self) -> int:
+        return len(self.paths)
+
+    @property
+    def generation_rounds(self) -> int:
+        """Resolved number of rounds the source generates packets."""
+        return self._gen
+
+    @property
+    def total_packets(self) -> int:
+        return self.mu_r * self._gen
+
+    @property
+    def shares(self) -> Tuple[int, ...]:
+        """Resolved static-scheme per-path generation split."""
+        return self._shares
+
+    def generated(self, t: int) -> int:
+        """Packets generated in round ``t`` (0-indexed)."""
+        return self.mu_r if 0 <= t < self._gen else 0
+
+    def due_end(self, t: int) -> int:
+        """Cumulative packets due for playout by the end of round
+        ``t``: playout starts at round ``tau`` and drains ``mu_r``
+        per round until the stream is exhausted."""
+        if t < self.tau:
+            return 0
+        return min(self.mu_r * (t - self.tau + 1), self.total_packets)
+
+    def path_due_end(self, k: int, t: int) -> int:
+        """Static scheme: cumulative *substream-k* packets due by the
+        end of round ``t`` (the client plays the interleaved stream,
+        so each substream owes ``shares[k]`` packets per tick)."""
+        if t < self.tau:
+            return 0
+        return min(
+            self._shares[k] * (t - self.tau + 1),
+            self._shares[k] * self._gen,
+        )
+
+    def provision_ratio(self) -> float:
+        """Aggregate path rate over the stream rate (reporting only;
+        never used in constraints)."""
+        return sum(p.rate for p in self.paths) / self.mu_r

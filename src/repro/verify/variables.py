@@ -1,0 +1,85 @@
+"""Per-round solver variables for one verification instance.
+
+Mirrors the CCAC structure: one ``Variables`` object owns every z3
+Int for a ``T``-round trace, named so a printed model reads like the
+replay table (``fill_k_t``, ``served_k_t``, ``client_t``, ...).
+
+All variables are *integers*: the system counts whole packets, and an
+integer encoding keeps the whole model in decidable linear integer
+arithmetic (no float literals may appear in any constraint —
+repro-lint RL006 enforces this mechanically).
+
+``z3`` is imported lazily by the caller (see
+:func:`repro.verify.model.z3_module`) and passed in, so this module
+imports cleanly on machines without the ``verify`` extra.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.verify.spec import VerifySpec
+
+__all__ = ["Variables"]
+
+
+class Variables:
+    """z3 Int variables for every quantity in the round dynamics.
+
+    Per path ``k`` and round ``t`` (all cumulative counters are
+    end-of-round):
+
+    ``fill[k][t]``        packets pulled into path k's send buffer
+    ``shortfall[k][t]``   service withheld by the adversary
+    ``served[k][t]``      packets leaving the send buffer
+    ``lost[k][t]``        served packets lost (they re-enter the
+                          buffer: TCP retransmission)
+    ``delivered[k][t]``   served - lost
+    ``buf[k][t]``         send-buffer occupancy
+    ``cum_shortfall[k][t]`` / ``cum_lost[k][t]`` / ``cum_served[k][t]``
+                          running budget consumption / conservation
+
+    Stream state (DMP has one stream; the static scheme has one per
+    path — ``queue`` and ``client`` get one row per stream):
+
+    ``queue[s][t]``       un-pulled packets (server queue / substream)
+    ``client[s][t]``      cumulative packets arrived at the client
+    ``late[t]``           packets counted late at their deadline round
+    ``streak[t]``         consecutive starved playout rounds so far
+    ``late_total``        sum of ``late`` (the query objective)
+    """
+
+    def __init__(self, spec: VerifySpec, scheme: str,
+                 z3: Any) -> None:
+        tt = spec.rounds
+        kk = spec.n_paths
+        streams = 1 if scheme == "dmp" else kk
+
+        def per_path(name: str) -> List[List[Any]]:
+            return [
+                [z3.Int(f"{name}_{k}_{t}") for t in range(tt)]
+                for k in range(kk)
+            ]
+
+        def per_stream(name: str) -> List[List[Any]]:
+            return [
+                [z3.Int(f"{name}_{s}_{t}") for t in range(tt)]
+                for s in range(streams)
+            ]
+
+        self.spec = spec
+        self.scheme = scheme
+        self.fill = per_path("fill")
+        self.shortfall = per_path("wdrawn")
+        self.served = per_path("served")
+        self.lost = per_path("lost")
+        self.delivered = per_path("dlvrd")
+        self.buf = per_path("buf")
+        self.cum_shortfall = per_path("cumw")
+        self.cum_lost = per_path("cuml")
+        self.cum_served = per_path("cums")
+        self.queue = per_stream("queue")
+        self.client = per_stream("client")
+        self.late = [z3.Int(f"late_{t}") for t in range(tt)]
+        self.streak = [z3.Int(f"streak_{t}") for t in range(tt)]
+        self.late_total = z3.Int("late_total")

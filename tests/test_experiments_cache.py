@@ -347,3 +347,77 @@ def test_resolve_cache_semantics(tmp_path):
         assert resolve_cache(None) is default  # shared instance
     finally:
         cache_mod.configure(enabled=None, directory=None)
+
+
+# ---------------------------------------------------------------------
+# Verification records (repro.verify)
+# ---------------------------------------------------------------------
+def _verify_spec(**overrides):
+    from repro.verify import PathBudget, VerifySpec
+    base = dict(
+        mu_r=2, tau=2, rounds=8,
+        paths=(PathBudget(rate=2, slack=2, loss=1, delay=0, buffer=3),
+               PathBudget(rate=1, slack=1, loss=0, delay=1, buffer=2)),
+    )
+    base.update(overrides)
+    return VerifySpec(**base)
+
+
+def test_verify_records_forced_a_version_bump():
+    """Verification results entered the cache in v8; older records
+    must never satisfy a verify lookup."""
+    assert CODE_VERSION >= 8
+
+
+def test_verify_key_sensitive_to_every_field(cache):
+    from repro.verify import PathBudget
+    base = cache.verify_key(_verify_spec())
+    assert cache.verify_key(_verify_spec(mu_r=3)) != base
+    assert cache.verify_key(_verify_spec(tau=1)) != base
+    assert cache.verify_key(_verify_spec(rounds=9)) != base
+    bumped = list(_verify_spec().paths)
+    bumped[0] = PathBudget(rate=2, slack=3, loss=1, delay=0, buffer=3)
+    assert cache.verify_key(
+        _verify_spec(paths=tuple(bumped))) != base
+    assert cache.verify_key(
+        _verify_spec(static_shares=(0, 2))) != base
+    assert cache.verify_key(_verify_spec(), scheme="static") != base
+    assert cache.verify_key(_verify_spec(), engine="z3") != base
+    assert cache.verify_key(_verify_spec(), query="starve") != base
+
+
+def test_verify_key_uses_resolved_defaults(cache):
+    """Spelling out the default gen_rounds/static_shares resolves to
+    the same instance, hence the same record; the display label never
+    reaches the key."""
+    base = cache.verify_key(_verify_spec())
+    spec = _verify_spec()
+    explicit = _verify_spec(gen_rounds=spec.generation_rounds,
+                            static_shares=spec.shares)
+    assert cache.verify_key(explicit) == base
+    assert cache.verify_key(_verify_spec(label="renamed")) == base
+
+
+def test_verify_record_round_trip_and_shape_check(cache):
+    spec = _verify_spec()
+    assert cache.get_verify(spec) is None
+    with pytest.raises(ValueError):
+        cache.put_verify(spec)
+    record = {"value": 2,
+              "choices": {"fill": [], "shortfall": [], "lost": []}}
+    cache.put_verify(spec, record=record)
+    assert cache.get_verify(spec) == record
+    # Same spec under a different scheme/query is a separate record.
+    assert cache.get_verify(spec, scheme="static") is None
+    assert cache.get_verify(spec, query="starve") is None
+
+
+def test_malformed_verify_record_is_a_miss(cache, tmp_path):
+    spec = _verify_spec()
+    cache.put_verify(spec, record={"value": 2, "choices": {}})
+    # Strip the witness: shape check refuses to surface the record.
+    path = os.path.join(str(tmp_path),
+                        cache.verify_key(spec) + ".json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"value": 2}, handle)
+    assert cache.get_verify(spec) is None

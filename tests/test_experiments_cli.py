@@ -80,3 +80,77 @@ def test_cli_reports_cache_stats(tmp_path, capsys):
     assert cli.main(["sec73", "--cache-dir", str(tmp_path)]) == 0
     out = capsys.readouterr().out
     assert "cache: 0 hits / 0 misses" in out  # sec73 never simulates
+
+
+# ------------------------------------------------------------------
+# verify target
+# ------------------------------------------------------------------
+_VERIFY_FAST = ["verify", "--engine", "exhaustive", "--mu-round", "2",
+                "--tau", "2", "--rounds", "8"]
+
+
+def test_cli_list_includes_verify(capsys):
+    assert cli.main(["list"]) == 0
+    assert "verify" in capsys.readouterr().out.split()
+
+
+def test_cli_verify_envelope_and_cex_out(tmp_path, capsys):
+    cex = tmp_path / "cex.jsonl"
+    assert cli.main(_VERIFY_FAST + ["--cex-out", str(cex)]) == 0
+    out = capsys.readouterr().out
+    assert "verify[exhaustive]" in out
+    assert "certified max late" in out
+    assert "UNSAT certificate" in out
+    assert "adversarial witness trace:" in out
+    # The emitted counterexample re-verifies: load replays the
+    # adversary choices and cross-checks every recorded round.
+    from repro.verify import load_trace_jsonl
+    with open(cex, encoding="utf-8") as handle:
+        trace = load_trace_jsonl(handle)
+    assert trace.rounds[-1].t == 7
+
+
+def test_cli_verify_compare_and_starve(capsys):
+    assert cli.main(_VERIFY_FAST + ["--query", "compare"]) == 0
+    out = capsys.readouterr().out
+    assert "dmp: certified max late" in out
+    assert "static: certified max late" in out
+    assert "advantage" in out
+    assert cli.main(_VERIFY_FAST + ["--query", "starve"]) == 0
+    assert "starve for at most" in capsys.readouterr().out
+
+
+def test_cli_verify_cache_round_trip(tmp_path, capsys):
+    argv = _VERIFY_FAST + ["--cache-dir", str(tmp_path)]
+    assert cli.main(argv) == 0
+    capsys.readouterr()
+    assert cli.main(argv) == 0
+    assert ", cached" in capsys.readouterr().out
+
+
+def test_cli_verify_rejects_bad_geometry():
+    with pytest.raises(SystemExit):
+        cli.main(["verify", "--rounds", "4", "--tau", "6"])
+    with pytest.raises(SystemExit):
+        cli.main(["verify", "--paths", "0"])
+    with pytest.raises(SystemExit):
+        cli.main(["verify", "--engine", "quantum"])
+
+
+def test_cli_verify_missing_dependency_exit_code(capsys, monkeypatch):
+    """The shared optional-dependency error path: exit code 3, the
+    error on stderr and a pip-install hint — without z3 installed."""
+    import repro.verify.queries as queries
+    from repro.experiments.optional_deps import (
+        EXIT_MISSING_DEPENDENCY, MissingDependencyError)
+
+    def _absent():
+        raise MissingDependencyError("z3", extra="verify",
+                                     package="z3-solver")
+
+    monkeypatch.setattr(queries, "z3_module", _absent)
+    rc = cli.main(_VERIFY_FAST[:1] + ["--engine", "z3"])
+    assert rc == EXIT_MISSING_DEPENDENCY == 3
+    err = capsys.readouterr().err
+    assert "error:" in err
+    assert 'pip install "repro[verify]"' in err

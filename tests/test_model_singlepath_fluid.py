@@ -1,5 +1,6 @@
 """Tests for the single-path model, static evaluation and fluid model."""
 
+import numpy as np
 import pytest
 
 from repro.model.fluid import (
@@ -7,6 +8,7 @@ from repro.model.fluid import (
     compare_dmp_vs_single,
     dmp_scenario,
     fluid_late_fraction,
+    late_fraction_from_trace,
     single_path_scenario,
 )
 from repro.model.singlepath import SinglePathModel, static_late_fraction
@@ -182,3 +184,64 @@ def test_fluid_validation():
         fluid_late_fraction([OnOffPath(rate=1.0)], mu=0.0, tau=1.0)
     with pytest.raises(ValueError):
         fluid_late_fraction([OnOffPath(rate=1.0)], mu=1.0, tau=-1.0)
+
+
+# ------------------------------------------------------------------
+# Arrival-curve trace edge cases (late_fraction_from_trace)
+# ------------------------------------------------------------------
+def test_trace_rejects_degenerate_inputs():
+    with pytest.raises(ValueError):
+        late_fraction_from_trace([], mu=10.0, tau=1.0, dt=0.1)
+    with pytest.raises(ValueError):
+        late_fraction_from_trace(np.zeros((2, 2)), mu=10.0, tau=1.0,
+                                 dt=0.1)
+    with pytest.raises(ValueError):
+        late_fraction_from_trace([1.0, -0.5], mu=10.0, tau=1.0,
+                                 dt=0.1)
+    with pytest.raises(ValueError):
+        late_fraction_from_trace([1.0], mu=10.0, tau=1.0, dt=0.0)
+    with pytest.raises(ValueError):
+        late_fraction_from_trace([1.0], mu=10.0, tau=1.0, dt=0.1,
+                                 video_duration_s=0.0)
+
+
+def test_trace_tau_zero_with_adequate_rate():
+    # Playback starts immediately; a path at 2*mu keeps arrivals
+    # exactly at the live generation curve, so nothing is late even
+    # with zero startup lead.
+    frac = late_fraction_from_trace([20.0] * 100, mu=10.0, tau=0.0,
+                                    dt=0.01)
+    assert frac == 0.0
+
+
+def test_trace_all_late_when_rate_is_zero():
+    # Nothing ever arrives: every playing step is in deficit.
+    frac = late_fraction_from_trace(np.zeros(50), mu=10.0, tau=0.0,
+                                    dt=0.1)
+    assert frac == 1.0
+    # Same with a finite video: exhaustion caps the playing window
+    # but every step inside it still misses its deadline.
+    frac = late_fraction_from_trace(np.zeros(50), mu=10.0, tau=0.0,
+                                    dt=0.1, video_duration_s=2.0)
+    assert frac == 1.0
+
+
+def test_trace_single_sample():
+    # One adequate step at tau = 0: the first packet makes its
+    # deadline.
+    assert late_fraction_from_trace([20.0], mu=10.0, tau=0.0,
+                                    dt=0.1) == 0.0
+    # Playback has not started by the end of a one-step trace:
+    # nothing has played, so nothing can be late (0/0 -> 0.0).
+    assert late_fraction_from_trace([0.0], mu=10.0, tau=0.5,
+                                    dt=0.1) == 0.0
+
+
+def test_trace_finite_video_stops_playing_after_exhaustion():
+    # 1 s of video over a 3 s trace at 2*mu: playback drains the whole
+    # file on schedule and the idle tail after exhaustion contributes
+    # no playing steps (late fraction stays 0, not diluted or
+    # inflated by the tail).
+    frac = late_fraction_from_trace([20.0] * 30, mu=10.0, tau=0.0,
+                                    dt=0.1, video_duration_s=1.0)
+    assert frac == 0.0

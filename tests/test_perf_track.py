@@ -197,6 +197,31 @@ def test_reports_without_meanfield_grow_no_meanfield_metrics():
                    for r in comp.results)
 
 
+def test_verify_solver_timings_never_gate():
+    """A 10x slower solver run is reported but can never regress: the
+    wall time tracks the z3 version, not this repository."""
+    base = _report()
+    base["benchmarks"]["verify"] = {
+        "z3_available": True,
+        "seconds_by_instance": {"T8.K2": 0.5, "T12.K2": 2.0},
+    }
+    new = copy.deepcopy(base)
+    new["benchmarks"]["verify"]["seconds_by_instance"] = {
+        "T8.K2": 5.0, "T12.K2": 20.0, "T16.K3": 90.0}
+    comp = compare(new, base)
+    ver = [r for r in comp.results if r.name.startswith("verify.")]
+    # Only the matched instances are reported; none gate.
+    assert {r.name for r in ver} == {"verify.seconds.T8.K2",
+                                     "verify.seconds.T12.K2"}
+    assert all(not r.gated and not r.regressed for r in ver)
+    assert comp.ok
+
+    # Reports without a verify section grow no verify metrics.
+    comp = compare(_report(), _report())
+    assert not any(r.name.startswith("verify.")
+                   for r in comp.results)
+
+
 def test_pool_reuse_gates_at_n1000():
     comp = compare(_with_pool_point(_report(), reuse=0.97), _report())
     gate = next(r for r in comp.results

@@ -26,9 +26,19 @@ REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 #: src/ modules held to ``mypy --strict`` (mirrors pyproject.toml).
 STRICT_PATHS = ["src/repro/sim", "src/repro/obs",
                 "src/repro/telemetry",
+                "src/repro/verify",
                 "src/repro/experiments/cache.py",
                 "src/repro/experiments/configs.py",
-                "src/repro/experiments/parallel.py"]
+                "src/repro/experiments/parallel.py",
+                "src/repro/experiments/optional_deps.py",
+                "src/repro/model/singlepath.py",
+                "src/repro/model/fluid.py",
+                "src/repro/model/meanfield.py",
+                "src/repro/model/mc_kernel.py",
+                "src/repro/model/dmp_model.py",
+                "src/repro/core/packets.py",
+                "src/repro/core/server_queue.py",
+                "src/repro/core/metrics.py"]
 
 
 # ---------------------------------------------------------------------
@@ -455,6 +465,83 @@ def test_rl005_only_applies_to_model_package(tmp_path):
 
 
 # ---------------------------------------------------------------------
+# RL006 — float literals in z3 constraint expressions
+# ---------------------------------------------------------------------
+def test_rl006_flags_float_in_solver_constraint(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "src/repro/verify/bad.py": """\
+            import z3
+
+            def encode(x):
+                solver = z3.Solver()
+                solver.add(x >= 0.5)
+                solver.add(x <= float(10))
+                return solver
+        """,
+    })
+    assert rules_of(findings) == ["RL006", "RL006"]
+    assert "0.5" in findings[0].message
+    assert "float() call" in findings[1].message
+
+
+def test_rl006_sees_optional_import_and_z3_parameter(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "src/repro/verify/bad.py": """\
+            from repro.experiments.optional_deps import optional_import
+
+            z3 = optional_import("z3", extra="verify",
+                                 package="z3-solver")
+
+            def clamp(v, z3):
+                return z3.If(v > 1.0, 1, 0)
+        """,
+    })
+    assert rules_of(findings) == ["RL006"]
+    assert "1.0" in findings[0].message
+
+
+def test_rl006_leaves_floats_outside_constraints_alone(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "src/repro/verify/good.py": """\
+            import z3
+
+            RATIO = 1.6
+
+            def report(late, total):
+                return late / max(total, 1)
+
+            def encode(x):
+                return z3.And(x >= 0, x <= 10)
+        """,
+    })
+    assert findings == []
+
+
+def test_rl006_only_applies_to_verify_package(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "src/repro/model/opt.py": """\
+            import z3
+
+            def encode(x):
+                return z3.If(x > 0.5, 1, 0)
+        """,
+    })
+    assert findings == []
+
+
+def test_rl006_suppression_on_the_float_line(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "src/repro/verify/ok.py": """\
+            import z3
+
+            def encode(x):
+                return x >= z3.RealVal(0.5)  # repro-lint: disable=RL006 -- deliberate Real model
+        """,
+    })
+    assert findings == []
+
+
+# ---------------------------------------------------------------------
 # Suppressions
 # ---------------------------------------------------------------------
 def test_inline_suppression_silences_finding(tmp_path):
@@ -543,7 +630,8 @@ def test_cli_clean_tree_exits_zero(tmp_path):
 def test_cli_list_rules_names_every_rule(tmp_path):
     proc = _run_cli(["--list-rules"], cwd=str(tmp_path))
     assert proc.returncode == 0
-    for rule in ("RL001", "RL002", "RL003", "RL004", "RL005"):
+    for rule in ("RL001", "RL002", "RL003", "RL004", "RL005",
+                 "RL006"):
         assert rule in proc.stdout
 
 

@@ -290,6 +290,27 @@ def compare(new_doc: Dict[str, Any], base_doc: Dict[str, Any],
             note="within-report: 10^6-session grid >= 100x "
                  "extrapolated packet cost"))
 
+    # -- verify solver timings: never gate ----------------------------
+    # Certified-envelope solve time tracks the z3 version and its
+    # search heuristics (or the exhaustive engine's pruning), not this
+    # repository's code: report matched (T, K) instances, never gate.
+    new_ver = new_doc.get("benchmarks", {}).get("verify", {}) \
+        .get("seconds_by_instance", {})
+    base_ver = base_doc.get("benchmarks", {}).get("verify", {}) \
+        .get("seconds_by_instance", {})
+    for key in sorted(set(new_ver) & set(base_ver)):
+        new_value = new_ver[key]
+        base_value = base_ver[key]
+        if not isinstance(new_value, (int, float)) \
+                or not isinstance(base_value, (int, float)) \
+                or new_value <= 0 or base_value <= 0:
+            continue
+        comp.results.append(MetricResult(
+            name=f"verify.seconds.{key}",
+            baseline=float(base_value), new=float(new_value),
+            ratio=float(base_value) / float(new_value), gated=False,
+            regressed=False, note="info only (solver wall time)"))
+
     # -- tiny timings: never gate -------------------------------------
     for name, path in (
             ("chain_build.compile_seconds",

@@ -8,6 +8,7 @@ from tools.repro_lint.rules import (
     rl003_probe_schema,
     rl004_cache_key,
     rl005_float_eq,
+    rl006_z3_float,
 )
 
 ALL_RULES = (
@@ -16,6 +17,7 @@ ALL_RULES = (
     rl003_probe_schema,
     rl004_cache_key,
     rl005_float_eq,
+    rl006_z3_float,
 )
 
 __all__ = ["ALL_RULES"]

@@ -1,0 +1,158 @@
+"""RL006 — no float literals in z3 constraint expressions.
+
+The verifier (``src/repro/verify``) certifies worst-case envelopes:
+its results are exact integer counts backed by UNSAT certificates.  A
+float literal inside a z3 expression silently turns the term into a
+``Real`` (or rounds before z3 ever sees it), and the "certificate"
+then proves a statement about a slightly different system —
+the worst kind of wrong, because the output still *looks* certified.
+All quantities must be modelled as scaled integers; anything genuinely
+fractional belongs in the spec-construction layer, before constraints
+are built.
+
+The rule tracks which local names denote the z3 module or values
+derived from it — ``import z3`` (and aliases), ``from z3 import ...``
+names, assignments from ``optional_import("z3", ...)`` or a
+``z3_module()`` helper, function parameters literally named ``z3``,
+and one-hop propagation through assignments (``solver = z3.Solver()``
+taints ``solver``).  Any statement-level expression that references a
+tainted name *and* contains a float literal or a ``float(...)`` call
+is flagged at the float.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set
+
+from tools.repro_lint.engine import (Finding, Project, dotted_name,
+                                     imported_module_aliases,
+                                     imported_names_from)
+
+RULE = "RL006"
+SUMMARY = "float literal in a z3 constraint expression"
+
+SCOPE = ("src/repro/verify",)
+
+
+def _is_optional_import_of_z3(node: ast.AST) -> bool:
+    """``optional_import("z3", ...)`` (any import path of the helper)."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = dotted_name(node.func)
+    if func is None or func.split(".")[-1] != "optional_import":
+        return False
+    return bool(node.args) and isinstance(node.args[0], ast.Constant) \
+        and node.args[0].value == "z3"
+
+
+def _is_z3_module_helper(node: ast.AST) -> bool:
+    """``z3_module()`` / ``mod.z3_module()`` style accessor calls."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = dotted_name(node.func)
+    return func is not None and func.split(".")[-1] == "z3_module"
+
+
+def _target_names(target: ast.expr) -> Iterator[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _target_names(element)
+
+
+def _tainted_names(tree: ast.Module) -> Set[str]:
+    tainted: Set[str] = set(imported_module_aliases(tree, "z3"))
+    tainted.update(imported_names_from(tree, "z3"))
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            args = node.args
+            for arg in (args.posonlyargs + args.args
+                        + args.kwonlyargs):
+                if arg.arg == "z3":
+                    tainted.add("z3")
+        if isinstance(node, ast.Assign):
+            if _is_optional_import_of_z3(node.value) \
+                    or _is_z3_module_helper(node.value):
+                for target in node.targets:
+                    tainted.update(_target_names(target))
+    # One-hop-per-pass propagation to a fixpoint: an assignment whose
+    # right side mentions a tainted name taints its targets
+    # (``solver = z3.Solver()``, ``If = z3.If``).
+    changed = True
+    while changed:
+        changed = False
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            value = node.value
+            if value is None or not _mentions(value, tainted):
+                continue
+            targets = node.targets if isinstance(node, ast.Assign) \
+                else [node.target]
+            for target in targets:
+                for name in _target_names(target):
+                    if name not in tainted:
+                        tainted.add(name)
+                        changed = True
+    return tainted
+
+
+def _mentions(node: ast.expr, tainted: Set[str]) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id in tainted:
+            return True
+    return False
+
+
+def _float_nodes(node: ast.expr) -> Iterator[ast.expr]:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Constant) \
+                and isinstance(sub.value, float):
+            yield sub
+        elif isinstance(sub, ast.Call) \
+                and isinstance(sub.func, ast.Name) \
+                and sub.func.id == "float":
+            yield sub
+
+
+def _stmt_expr_roots(stmt: ast.stmt) -> Iterator[ast.expr]:
+    """The statement's own expressions, not crossing into nested
+    statement bodies (a FunctionDef yields its decorators and defaults,
+    never its body)."""
+    for _, value in ast.iter_fields(stmt):
+        if isinstance(value, ast.expr):
+            yield value
+        elif isinstance(value, list):
+            for item in value:
+                if isinstance(item, ast.expr):
+                    yield item
+
+
+def check(project: Project) -> List[Finding]:
+    findings: List[Finding] = []
+    for source in project.iter_package(*SCOPE):
+        if source.tree is None:
+            continue
+        tainted = _tainted_names(source.tree)
+        if not tainted:
+            continue
+        for stmt in ast.walk(source.tree):
+            if not isinstance(stmt, ast.stmt):
+                continue
+            for root in _stmt_expr_roots(stmt):
+                if not _mentions(root, tainted):
+                    continue
+                for node in _float_nodes(root):
+                    what = "float() call" \
+                        if isinstance(node, ast.Call) \
+                        else f"float literal {node.value!r}"
+                    findings.append(Finding(
+                        source.path, node.lineno,
+                        node.col_offset + 1, RULE,
+                        f"{what} in a z3 constraint expression; "
+                        "model in scaled integers so certificates "
+                        "stay exact"))
+    return findings
