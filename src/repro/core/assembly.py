@@ -22,12 +22,14 @@ perturbing seeded runs.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import (Any, Callable, Dict, List, Optional, Sequence,
+                    Tuple, Union)
 
 from repro.core.client import BufferedStreamClient, StreamClient
 from repro.core.server_queue import ServerQueue
 from repro.core.source import VideoSource
 from repro.core.streamers import DmpStreamer, StaticStreamer
+from repro.obs.health import SessionMeta
 from repro.sim.engine import Simulator
 from repro.sim.topology import PathHandles
 from repro.tcp.socket import TcpConnection
@@ -49,7 +51,7 @@ class SessionAssembly:
                  tcp_variant: str = "reno",
                  client_buffer_pkts: Optional[int] = None,
                  client_tau: float = 10.0,
-                 label: str = ""):
+                 label: str = "") -> None:
         if scheme not in ("dmp", "static", "single"):
             raise ValueError(f"unknown scheme: {scheme}")
         if scheme == "single" and len(path_handles) != 1:
@@ -62,15 +64,19 @@ class SessionAssembly:
         self.scheme = scheme
         self.start_at = start_at
         self.label = label
+        self.segment_bytes = segment_bytes
 
         # A finite client playout buffer (the [16] scenario) fixes the
         # startup delay up front and back-pressures the senders via
         # TCP flow control; the default is the paper's unlimited one.
+        self.client: StreamClient
+        window_provider: Optional[Callable[[], int]]
         if client_buffer_pkts is not None:
-            self.client = BufferedStreamClient(
+            buffered = BufferedStreamClient(
                 sim, mu=mu, tau=client_tau,
                 capacity=client_buffer_pkts, stream_start=start_at)
-            window_provider = self.client.window
+            self.client = buffered
+            window_provider = buffered.window
         else:
             self.client = StreamClient(sim=sim)
             window_provider = None
@@ -87,6 +93,8 @@ class SessionAssembly:
                 name=f"{label}video{k}", variant=tcp_variant)
             self.connections.append(conn)
 
+        self.streamer: Union[StaticStreamer, DmpStreamer]
+        self.queue: Optional[ServerQueue]
         if scheme == "static":
             self.streamer = StaticStreamer(
                 sim, self.connections, weights=static_weights)
@@ -108,11 +116,18 @@ class SessionAssembly:
         """Simulated time the video generation ends."""
         return self.start_at + self.duration_s
 
-    def arrivals_relative(self) -> List[tuple]:
+    def arrivals_relative(self) -> List[Tuple[int, float]]:
         """Client arrivals shifted to this session's video clock."""
         start = self.start_at
         return [(number, time - start)
                 for number, time in self.client.arrivals]
 
-    def flow_stats(self) -> List[dict]:
+    def flow_stats(self) -> List[Dict[str, Any]]:
         return [conn.stats() for conn in self.connections]
+
+    def health_meta(self) -> SessionMeta:
+        """This session's identity for the campaign health layer."""
+        return SessionMeta(
+            label=self.label, start_at=self.start_at, mu=self.mu,
+            total_packets=self.source.total_packets,
+            segment_bytes=self.segment_bytes)

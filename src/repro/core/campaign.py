@@ -24,11 +24,14 @@ and its p50/p95/p99 — rather than a single flow-level number.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import (Any, Callable, Dict, List, Optional, Sequence,
+                    Tuple)
 
 from repro.core.assembly import SessionAssembly
 from repro.core.metrics import late_fraction, quantile
 from repro.obs.bus import EventBus
+from repro.obs.health import HealthAggregator, LogHistogram, hist_of
+from repro.obs.recorder import FlightRecorder, Trigger
 from repro.obs.sinks import CountersSink, JsonlSink
 from repro.sim.engine import Simulator
 from repro.sim.pool import PacketPool
@@ -39,6 +42,13 @@ from repro.traffic.http import HttpFlow
 
 #: Population percentiles reported by :meth:`CampaignResult.population`.
 POPULATION_QUANTILES: Tuple[float, ...] = (0.5, 0.95, 0.99)
+
+#: From this session count up, :meth:`CampaignResult.population`
+#: switches from the exact list-based quantile (sorts all fractions)
+#: to the mergeable :class:`~repro.obs.health.LogHistogram` — the same
+#: representation campaign rollups merge across workers, with relative
+#: quantile error bounded by the bucket width (1/64).
+HISTOGRAM_THRESHOLD = 64
 
 
 @dataclass
@@ -51,8 +61,8 @@ class SessionSummary:
     mu: float
     total_packets: int
     received: int
-    arrivals: List[tuple]
-    flow_stats: List[dict]
+    arrivals: List[Tuple[int, float]]
+    flow_stats: List[Dict[str, Any]]
 
     def late_fraction(self, tau: float) -> float:
         """This session's late fraction at startup delay ``tau``."""
@@ -77,16 +87,36 @@ class CampaignResult:
         """Per-session late fractions at ``tau``, in session order."""
         return [s.late_fraction(tau) for s in self.sessions]
 
-    def population(self, tau: float) -> Dict[str, float]:
-        """Distribution summary of per-session late fractions."""
+    def late_hist(self, tau: float) -> LogHistogram:
+        """Mergeable histogram of per-session late fractions."""
+        return hist_of(self.late_fractions(tau))
+
+    def population(self, tau: float,
+                   exact: Optional[bool] = None) -> Dict[str, float]:
+        """Distribution summary of per-session late fractions.
+
+        Below :data:`HISTOGRAM_THRESHOLD` sessions the percentiles
+        come from the exact list-based :func:`~repro.core.metrics.
+        quantile`; from there up they come from :meth:`late_hist`, the
+        same log histogram campaign rollups merge across workers (so a
+        single big run and a merged multi-worker run agree exactly).
+        Pass ``exact`` to force either path.
+        """
         fractions = self.late_fractions(tau)
+        if exact is None:
+            exact = len(fractions) < HISTOGRAM_THRESHOLD
         summary = {
             "mean": sum(fractions) / len(fractions),
             "min": min(fractions),
             "max": max(fractions),
         }
-        for q in POPULATION_QUANTILES:
-            summary[f"p{int(q * 100)}"] = quantile(fractions, q)
+        if exact:
+            for q in POPULATION_QUANTILES:
+                summary[f"p{int(q * 100)}"] = quantile(fractions, q)
+        else:
+            hist = hist_of(fractions)
+            for q in POPULATION_QUANTILES:
+                summary[f"p{int(q * 100)}"] = hist.quantile(q)
         return summary
 
 
@@ -109,7 +139,7 @@ class MultiSessionCampaign:
                  client_buffer_pkts: Optional[int] = None,
                  client_tau: float = 10.0,
                  use_pool: bool = True,
-                 service_batch: int = 1):
+                 service_batch: int = 1) -> None:
         if n_sessions < 1:
             raise ValueError("need at least one session")
         if churn_rate < 0:
@@ -202,6 +232,51 @@ class MultiSessionCampaign:
         sink = JsonlSink(target, patterns=patterns)
         self.bus.attach(sink)
         return sink
+
+    def attach_recorder(self, triggers: Sequence[Trigger] = (),
+                        ring_size: int = 256) -> FlightRecorder:
+        """Arm a per-session flight recorder (see
+        :mod:`repro.obs.recorder`).
+
+        Call this *before* :meth:`attach_health` — subscribers run in
+        subscribe order, so the recorder's ring then already holds the
+        arrival that caused a stall when the aggregator's nested
+        ``health.stall`` emission fires the stall trigger.
+        """
+        recorder = FlightRecorder(
+            [a.label for a in self.assemblies],
+            triggers=triggers, ring_size=ring_size)
+        return recorder.attach(self.bus)
+
+    def attach_health(self, tau: float = 6.0,
+                      queue_sample_s: float = 0.25,
+                      flow_sample_s: float = 1.0) -> HealthAggregator:
+        """Attach streaming per-session QoE rollups (see
+        :mod:`repro.obs.health`).
+
+        The bottleneck queue occupancy (every ``queue_sample_s``) and
+        each live session's sender state (cwnd and send-buffer
+        occupancy, every ``flow_sample_s``) are polled on the
+        simulated clock until the last session's video ends; ``tau``
+        is the reference startup delay the rollup's late fraction and
+        stall clock use.
+        """
+        queue = self.topology.bottleneck_fwd.queue
+
+        def sampler(sender: Any) -> Callable[[], Tuple[float, float]]:
+            return lambda: (sender.cwnd, float(sender.buffered))
+
+        aggregator = HealthAggregator(
+            self.bus, [a.health_meta() for a in self.assemblies],
+            tau=tau, sim=self.sim,
+            queue_len=lambda: len(queue),
+            queue_sample_s=queue_sample_s,
+            sample_until=max(a.end_at for a in self.assemblies),
+            flow_states=[(a.label, sampler(conn.sender))
+                         for a in self.assemblies
+                         for conn in a.connections],
+            flow_sample_s=flow_sample_s)
+        return aggregator.attach(self.bus)
 
     def _on_session_done(self, index: int) -> None:
         """Fires at the instant session ``index``'s video ends."""

@@ -9,10 +9,11 @@ the whole tau-curve, exactly like replaying a tcpdump trace.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.packets import VideoPacket
 from repro.obs.bus import NULL_PROBE
+from repro.sim.engine import Simulator
 
 
 class StreamClient:
@@ -22,7 +23,7 @@ class StreamClient:
     (and ``client.buffer`` for the buffered variant).
     """
 
-    def __init__(self, sim=None):
+    def __init__(self, sim: Optional[Simulator] = None) -> None:
         self.arrivals: List[Tuple[int, float]] = []
         self._arrival_time: Dict[int, float] = {}
         self.per_path_counts: Dict[str, int] = {}
@@ -31,10 +32,13 @@ class StreamClient:
         self._p_arrival = sim.bus.probe("client.arrival") \
             if sim is not None else NULL_PROBE
 
-    def deliver_callback(self, path_name: str):
+    def deliver_callback(
+            self, path_name: str
+    ) -> Callable[[VideoPacket, int, float], None]:
         """Make an ``on_deliver`` callback for one TCP connection."""
 
-        def on_deliver(payload, _seq: int, time: float) -> None:
+        def on_deliver(payload: VideoPacket, _seq: int,
+                       time: float) -> None:
             self.on_packet(payload, time, path_name)
 
         return on_deliver
@@ -92,8 +96,8 @@ class BufferedStreamClient(StreamClient):
     how much has already been played.
     """
 
-    def __init__(self, sim, mu: float, tau: float, capacity: int,
-                 stream_start: float = 0.0):
+    def __init__(self, sim: Simulator, mu: float, tau: float,
+                 capacity: int, stream_start: float = 0.0) -> None:
         super().__init__(sim=sim)
         if mu <= 0 or tau < 0:
             raise ValueError("need mu > 0 and tau >= 0")

@@ -83,16 +83,26 @@ def quantile(values: Sequence[float], q: float) -> float:
     fractional rank ``q * (n - 1)`` of the sorted sample.  Campaigns
     use this for population percentiles (p50/p95/p99 of per-session
     late fractions) without pulling numpy into the core layer.
+
+    Whole-number ranks — including the single-sample case and the
+    q = 0 / q = 1 endpoints — return the order statistic itself with
+    no interpolation arithmetic: ``lo * 1.0 + hi * 0.0`` is *not* a
+    no-op when a neighbour is infinite (``0.0 * inf`` is NaN), so the
+    endpoints of a sample containing ``inf`` used to come back NaN.
     """
     if not 0.0 <= q <= 1.0:
         raise ValueError(f"q must be in [0, 1]: {q}")
     if not values:
         raise ValueError("quantile of an empty sequence")
     ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
     position = q * (len(ordered) - 1)
     lower = int(position)
-    upper = min(lower + 1, len(ordered) - 1)
     fraction = position - lower
+    if fraction == 0.0:
+        return ordered[lower]
+    upper = min(lower + 1, len(ordered) - 1)
     return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
 
 

@@ -66,7 +66,11 @@ if TYPE_CHECKING:  # pragma: no cover
 #: kind keyed on the full ``VerifySpec`` plus scheme/engine/query;
 #: no prior kind changed shape, bumped per the RL004 diff policy
 #: because the key-payload module gained new material.
-CODE_VERSION = 8
+#: v9: campaign records (``n_sessions > 1``) additionally carry the
+#: QoE ``health`` rollup (per-session rows plus mergeable log
+#: histograms, ``repro.obs.health``); presence is re-checked on read
+#: like ``sessions``, and pre-v9 campaign records lack it.
+CODE_VERSION = 9
 
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 ENV_CACHE = "REPRO_CACHE"
@@ -266,6 +270,16 @@ class ResultCache:
                     tau_key(tau) not in sessions for tau in spec.taus):
                 self._miss("run")
                 return None
+            # ... and the QoE health rollup with per-tau late-fraction
+            # histograms covering the same taus (repro.obs.health).
+            health = record.get("health")
+            late_hists = health.get("late_hists") \
+                if isinstance(health, dict) else None
+            if not isinstance(late_hists, dict) or any(
+                    tau_key(tau) not in late_hists
+                    for tau in spec.taus):
+                self._miss("run")
+                return None
         self._hit("run")
         return record
 
@@ -289,6 +303,19 @@ class ResultCache:
                 sessions = dict(previous["sessions"])
                 sessions.update(record.get("sessions", {}))
                 record["sessions"] = sessions
+            # Health rollups: the rollup itself is tau-independent
+            # (latest wins, it describes the same deterministic run)
+            # while the per-tau late histograms accumulate like taus.
+            previous_health = previous.get("health")
+            if isinstance(previous_health, dict):
+                health = dict(previous_health)
+                fresh = record.get("health")
+                if isinstance(fresh, dict):
+                    late_hists = dict(
+                        previous_health.get("late_hists", {}))
+                    late_hists.update(fresh.get("late_hists", {}))
+                    health = dict(fresh, late_hists=late_hists)
+                record["health"] = health
         self._write(key, record, "run")
 
     # -- model records -------------------------------------------------

@@ -19,12 +19,14 @@ bit-identical and records are reusable across invocations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Union
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro import telemetry
+from repro.core.campaign import HISTOGRAM_THRESHOLD
 from repro.core.metrics import quantile
 from repro.core.session import VIDEO_SEGMENT_BYTES
+from repro.obs.health import LogHistogram, merge_rollups
 from repro.experiments.cache import ResultCache, resolve_cache, tau_key
 from repro.experiments.configs import Setting
 from repro.experiments.parallel import ReplicationExecutor, RunSpec
@@ -70,6 +72,10 @@ class CampaignRun:
     points: List[CampaignPoint]
     #: tau -> per-replication lists of per-session late fractions.
     per_run_sessions: Dict[float, List[List[float]]]
+    #: QoE health rollup merged across replications in submit order
+    #: (see :func:`repro.obs.health.merge_rollups`); None for the
+    #: mean-field backend, which has no per-session probe stream.
+    health: Optional[Dict[str, Any]] = field(default=None)
 
     def point(self, tau: float) -> CampaignPoint:
         for pt in self.points:
@@ -234,6 +240,13 @@ def run_campaign(setting: Setting,
                   for rec in records if rec is not None]
             for tau in float_taus}
 
+        # Worker-local health rollups merge in submit order (records
+        # are already in spec order), so serial and --workers N runs
+        # produce byte-identical merged rollups.
+        health = merge_rollups(
+            [rec["health"]["rollup"] for rec in records
+             if rec is not None])
+
         points: List[CampaignPoint] = []
         for tau in float_taus:
             replications = per_run_sessions[tau]
@@ -241,13 +254,26 @@ def run_campaign(setting: Setting,
                       for fraction in rep]
             rep_means = [sum(rep) / len(rep) for rep in replications]
             mean, ci = _mean_ci95(rep_means)
+            # Population percentiles: exact below the threshold, from
+            # the merged per-tau log histograms above it — the same
+            # switch as CampaignResult.population, and at large N the
+            # only path that avoids sorting runs x sessions floats.
+            if len(pooled) < HISTOGRAM_THRESHOLD:
+                p50, p95, p99 = (quantile(pooled, q)
+                                 for q in (0.5, 0.95, 0.99))
+            else:
+                hist = LogHistogram.merged(
+                    [LogHistogram.from_dict(
+                        rec["health"]["late_hists"][tau_key(tau)])
+                     for rec in records if rec is not None])
+                p50, p95, p99 = (hist.quantile(q)
+                                 for q in (0.5, 0.95, 0.99))
             points.append(CampaignPoint(
                 tau=tau, mean=mean, ci95=ci,
-                p50=quantile(pooled, 0.5),
-                p95=quantile(pooled, 0.95),
-                p99=quantile(pooled, 0.99),
+                p50=p50, p95=p95, p99=p99,
                 worst=max(pooled)))
 
         return CampaignRun(
             setting=setting, profile=profile, scheme=scheme,
-            points=points, per_run_sessions=per_run_sessions)
+            points=points, per_run_sessions=per_run_sessions,
+            health=health)

@@ -17,6 +17,12 @@ Run a multi-session campaign (N concurrent sessions, one bottleneck):
     python -m repro.experiments.cli campaign --sessions 50 \\
         --churn 0.5 --queue-discipline red --duration 60
 
+Campaign QoE health (rollups, flight recorder, exporters):
+
+    python -m repro.experiments.cli campaign --sessions 50 \\
+        --churn 0.5 --record-trigger stall:1.0 --record-out dumps/ \\
+        --prometheus-out health.prom --dashboard-out health.html
+
 Builder targets run under a campaign telemetry session
 (:mod:`repro.telemetry`): a summary table prints at the end of every
 run (disable with --no-telemetry-summary), ``--telemetry-out``
@@ -121,7 +127,11 @@ def _run_meanfield(args) -> int:
 
 def _run_campaign(args) -> int:
     """Run one multi-session campaign and report population metrics."""
+    import json as json_module
+
     from repro.core.campaign import MultiSessionCampaign
+    from repro.obs import export as health_export
+    from repro.obs.recorder import parse_trigger
 
     setting = dataclasses.replace(
         ALL_SETTINGS[args.setting],
@@ -140,6 +150,17 @@ def _run_campaign(args) -> int:
     counters = campaign.attach_counters()
     jsonl = campaign.attach_jsonl(args.trace_out) \
         if args.trace_out else None
+    # Recorder before aggregator: subscribe order is delivery order,
+    # so the stall-causing arrival is already in the ring when the
+    # aggregator's nested health.stall emission fires the trigger.
+    recorder = campaign.attach_recorder(
+        triggers=[parse_trigger(spec)
+                  for spec in args.record_trigger]) \
+        if args.record_trigger else None
+    want_health = bool(args.health_out or args.prometheus_out
+                       or args.dashboard_out or recorder is not None)
+    aggregator = campaign.attach_health(tau=args.health_tau) \
+        if want_health else None
 
     started = time.time()  # repro-lint: disable=RL001 -- progress timer
     result = campaign.run()
@@ -149,6 +170,32 @@ def _run_campaign(args) -> int:
         jsonl.close()
         print(f"[wrote {jsonl.lines_written} events to "
               f"{args.trace_out}]")
+    rollup = aggregator.rollup() if aggregator is not None else None
+    if rollup is not None and args.health_out:
+        health_export.write_text(
+            args.health_out,
+            json_module.dumps(rollup, indent=1) + "\n")
+        print(f"[wrote health rollup to {args.health_out}]")
+    if rollup is not None and args.prometheus_out:
+        health_export.write_text(
+            args.prometheus_out,
+            health_export.prometheus_exposition(rollup))
+        print(f"[wrote Prometheus exposition to "
+              f"{args.prometheus_out}]")
+    if rollup is not None and args.dashboard_out:
+        health_export.write_text(
+            args.dashboard_out,
+            health_export.html_dashboard(
+                rollup, title=f"Campaign {args.setting} "
+                              f"({args.sessions} sessions)"))
+        print(f"[wrote dashboard to {args.dashboard_out}]")
+    if recorder is not None:
+        print("flight recorder:")
+        print(recorder.summary())
+        if recorder.frozen:
+            paths = recorder.dump(args.record_out)
+            print(f"[wrote {len(paths)} trigger window(s) to "
+                  f"{args.record_out}/]")
     arrival = (f"churn rate {args.churn:g}/s" if args.churn > 0
                else "staggered starts")
     rate = result.events_processed / elapsed if elapsed > 0 \
@@ -169,6 +216,8 @@ def _run_campaign(args) -> int:
         pop = result.population(tau)
         print(f"  {tau:g}s: {pop['mean']:.4f} / {pop['p50']:.4f} / "
               f"{pop['p95']:.4f} / {pop['p99']:.4f}")
+    if rollup is not None:
+        print(health_export.health_table(rollup, max_rows=10))
     print("probe event counts:")
     print(counters.summary())
     return 0
@@ -352,6 +401,32 @@ def main(argv=None) -> int:
         help="campaign solver: the packet-level simulator or the "
              "deterministic mean-field population ODE (cost "
              "independent of --sessions; default: packet)")
+    group.add_argument(
+        "--health-tau", type=float, default=6.0, metavar="S",
+        help="reference startup delay for the health rollup "
+             "(default: 6)")
+    group.add_argument(
+        "--health-out", default=None, metavar="FILE",
+        help="write the per-session QoE health rollup to FILE as "
+             "JSON")
+    group.add_argument(
+        "--prometheus-out", default=None, metavar="FILE",
+        help="write the health rollup to FILE in Prometheus text "
+             "exposition format")
+    group.add_argument(
+        "--dashboard-out", default=None, metavar="FILE",
+        help="write a self-contained static HTML dashboard to FILE "
+             "(inline JSON, no server)")
+    group.add_argument(
+        "--record-trigger", action="append", default=[],
+        metavar="SPEC",
+        help="arm a flight-recorder trigger "
+             "(kind[:threshold[:window_s]]; kinds: stall, "
+             "drop_burst, sendbuf, death; repeatable)")
+    group.add_argument(
+        "--record-out", default="recorder", metavar="DIR",
+        help="directory for triggered JSONL windows "
+             "(default: recorder/)")
     group = parser.add_argument_group("verify target")
     group.add_argument(
         "--paths", type=int, default=2, metavar="K",
@@ -428,6 +503,14 @@ def _dispatch(parser, args) -> int:
             parser.error("--churn must be >= 0")
         if args.service_batch < 1:
             parser.error("--service-batch must be >= 1")
+        if args.health_tau < 0:
+            parser.error("--health-tau must be >= 0")
+        from repro.obs.recorder import parse_trigger
+        for spec in args.record_trigger:
+            try:
+                parse_trigger(spec)
+            except ValueError as exc:
+                parser.error(f"--record-trigger: {exc}")
         if args.backend == "meanfield":
             if args.sessions < 2:
                 parser.error("--backend meanfield needs --sessions "
@@ -441,6 +524,12 @@ def _dispatch(parser, args) -> int:
             if args.churn > 0:
                 parser.error("--backend meanfield assumes "
                              "synchronized starts; --churn must be 0")
+            if args.health_out or args.prometheus_out \
+                    or args.dashboard_out or args.record_trigger:
+                parser.error(
+                    "--backend meanfield has no per-session probe "
+                    "stream; health/recorder flags need the packet "
+                    "backend")
             return _run_meanfield(args)
         return _run_campaign(args)
 

@@ -49,10 +49,18 @@ from repro.core.metrics import arrival_order_late_fraction
 from repro.core.session import StreamingSession
 from repro.experiments.cache import tau_key
 from repro.experiments.configs import Setting
+from repro.obs.health import hist_of
 from repro.model.dmp_model import DmpModel, LateFractionEstimate
 from repro.model.tcp_chain import FlowParams
 
 ENV_WORKERS = "REPRO_WORKERS"
+
+#: Reference startup delay of the health rollup stored in campaign
+#: records.  Fixed (never derived from the requested taus) so the
+#: rollup stays a pure function of the cache key and records merged
+#: across invocations agree; per-tau late-fraction histograms ride
+#: along separately under ``health.late_hists``.
+HEALTH_REFERENCE_TAU = 6.0
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -147,6 +155,14 @@ def _simulate_campaign_run(spec: RunSpec) -> Dict[str, Any]:
     here).  The record's ``taus`` carry population *means* so existing
     consumers aggregate unchanged; the per-session distributions ride
     along under ``sessions``.
+
+    Every campaign replication additionally runs with the streaming
+    :class:`~repro.obs.health.HealthAggregator` attached and stores its
+    ``health`` rollup — per-session QoE rows plus mergeable log
+    histograms, with one late-fraction histogram per requested tau —
+    so :func:`repro.experiments.campaign.run_campaign` can merge
+    worker-local rollups in submit order into a population view that
+    is bit-identical between serial and ``--workers N`` runs.
     """
     tel = telemetry.current()
     setting = spec.setting
@@ -166,9 +182,11 @@ def _simulate_campaign_run(spec: RunSpec) -> Dict[str, Any]:
             n_ftp=path.n_ftp, n_http=path.n_http,
             send_buffer_pkts=spec.send_buffer_pkts)
         counters = campaign.attach_counters() if spec.counters else None
+        aggregator = campaign.attach_health(tau=HEALTH_REFERENCE_TAU)
         result = campaign.run()
         taus: Dict[str, List[float]] = {}
         sessions: Dict[str, List[float]] = {}
+        late_hists: Dict[str, Dict[str, Any]] = {}
         for tau in spec.taus:
             fractions = result.late_fractions(tau)
             ao_fractions = [
@@ -178,11 +196,14 @@ def _simulate_campaign_run(spec: RunSpec) -> Dict[str, Any]:
             taus[tau_key(tau)] = [sum(fractions) / n,
                                   sum(ao_fractions) / n]
             sessions[tau_key(tau)] = fractions
+            late_hists[tau_key(tau)] = hist_of(fractions).to_dict()
         record: Dict[str, Any] = {
             "flow_stats": [stats for s in result.sessions
                            for stats in s.flow_stats],
             "taus": taus,
             "sessions": sessions,
+            "health": {"rollup": aggregator.rollup(),
+                       "late_hists": late_hists},
         }
         if counters is not None:
             record["counters"] = counters.as_dict()

@@ -58,6 +58,11 @@ SCHEMA: Dict[str, Tuple[str, ...]] = {
     # multi-session campaigns: one event per session at the instant
     # its video ends (received = packets delivered by then)
     "campaign.session_done": ("session", "received", "total"),
+    # campaign health layer (repro.obs.health / repro.obs.recorder):
+    # a session's freeze-resume playout clock starved for ``duration``
+    # seconds, and a flight-recorder trigger freezing a ring
+    "health.stall": ("session", "duration", "rebuffers"),
+    "health.trigger": ("session", "kind", "value"),
 }
 
 Subscriber = Callable[[str, float, Tuple[Any, ...]], None]

@@ -256,11 +256,20 @@ class TestExperiments:
         spec = RunSpec(setting=CAMPAIGN_SETTING, duration_s=5.0,
                        scheme="dmp", seed=1, send_buffer_pkts=16,
                        taus=(2.0,))
+        from repro.obs.health import hist_of
         record = {"flow_stats": [], "taus": {"2.0": [0.1, 0.1]}}
         cache.put_run(spec, record)
         # Campaign spec without per-session data -> miss, not a hit.
         assert cache.get_run(spec) is None
+        # Per-session lists alone are still a partial (pre-v9) record:
+        # the QoE health rollup must cover the same taus too.
         record["sessions"] = {"2.0": [0.1, 0.2, 0.0]}
+        cache.put_run(spec, record)
+        assert cache.get_run(spec) is None
+        record["health"] = {
+            "rollup": {},
+            "late_hists": {"2.0": hist_of([0.1, 0.2, 0.0]).to_dict()},
+        }
         cache.put_run(spec, record)
         assert cache.get_run(spec)["sessions"]["2.0"] == \
             [0.1, 0.2, 0.0]
@@ -284,6 +293,11 @@ class TestExperiments:
         assert serial.per_run_sessions == parallel.per_run_sessions
         for mine, theirs in zip(serial.points, parallel.points):
             assert mine == theirs
+        # The QoE health rollup merges in submit order: serial and
+        # --workers 2 runs must agree byte for byte.
+        import json
+        assert json.dumps(serial.health, sort_keys=True) == \
+            json.dumps(parallel.health, sort_keys=True)
 
     def test_run_campaign_uses_cache(self, tmp_path):
         from repro.experiments.cache import ResultCache

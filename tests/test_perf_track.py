@@ -234,6 +234,39 @@ def test_pool_reuse_gates_at_n1000():
     assert gate.regressed
 
 
+def _with_health_overhead(doc, bare, instrumented):
+    out = copy.deepcopy(doc)
+    out["benchmarks"]["multisession"] = {
+        "health_overhead": {
+            "n_sessions": 200,
+            "bare_events_per_second": bare,
+            "instrumented_events_per_second": instrumented,
+        },
+    }
+    return out
+
+
+def test_health_overhead_gates_within_report_on_any_machine():
+    base = _report()  # baseline has no health_overhead at all
+    ok = _with_health_overhead(_report(cpu="OtherCPU"),
+                               bare=1e6, instrumented=0.95e6)
+    comp = compare(ok, base)
+    gate = next(r for r in comp.results
+                if r.name == "multisession.health_overhead_n200")
+    assert gate.gated and not gate.regressed and gate.threshold == 1.0
+
+    slow = _with_health_overhead(_report(cpu="OtherCPU"),
+                                 bare=1e6, instrumented=0.8e6)
+    comp = compare(slow, base)
+    gate = next(r for r in comp.results
+                if r.name == "multisession.health_overhead_n200")
+    assert gate.regressed  # 20% overhead is past the 10% contract
+
+    comp = compare(_report(), _report())
+    assert not any(r.name == "multisession.health_overhead_n200"
+                   for r in comp.results)
+
+
 def test_resolve_baseline_prefers_the_mode_specific_file(tmp_path):
     (tmp_path / "BENCH_perf.json").write_text("{}", encoding="utf-8")
     (tmp_path / "BENCH_perf.quick.json").write_text(

@@ -38,7 +38,10 @@ STRICT_PATHS = ["src/repro/sim", "src/repro/obs",
                 "src/repro/model/dmp_model.py",
                 "src/repro/core/packets.py",
                 "src/repro/core/server_queue.py",
-                "src/repro/core/metrics.py"]
+                "src/repro/core/metrics.py",
+                "src/repro/core/client.py",
+                "src/repro/core/assembly.py",
+                "src/repro/core/campaign.py"]
 
 
 # ---------------------------------------------------------------------
@@ -297,6 +300,77 @@ def test_rl003_telemetry_inert_without_schema_file(tmp_path):
             def run(tel):
                 with tel.span("anything.goes"):
                     pass
+        """,
+    })
+    assert findings == []
+
+
+# ---------------------------------------------------------------------
+# RL003 (Prometheus half) — names vs the PROMETHEUS_METRICS registry
+# ---------------------------------------------------------------------
+_PROMETHEUS_REGISTRY_FIXTURE = """\
+    PROMETHEUS_METRICS = {
+        "repro_up": ("gauge", "liveness"),
+        "repro_drops_total": ("counter", "drops"),
+        "repro_delay_seconds": ("histogram", "delay dist"),
+        "repro_dead_metric": ("gauge", "nobody emits me"),
+    }
+"""
+
+
+def test_rl003_prometheus_unknown_name_kind_mismatch_and_dead_entry(
+        tmp_path):
+    findings = lint_tree(tmp_path, {
+        "src/repro/obs/export.py": _PROMETHEUS_REGISTRY_FIXTURE,
+        "src/repro/obs/emit.py": """\
+            from repro.obs.export import histogram_lines, sample_line
+
+            def exposition(hist):
+                lines = [sample_line("repro_up", 1.0)]
+                lines.append(sample_line("repro_mystery", 2.0))
+                lines += histogram_lines("repro_drops_total", hist)
+                return lines
+        """,
+    })
+    assert rules_of(findings) == ["RL003"] * 4
+    messages = [f.message for f in findings]
+    assert any("repro_mystery" in m and "not registered" in m
+               for m in messages)
+    assert any("repro_drops_total" in m and "counter" in m
+               and "histogram_lines" in m for m in messages)
+    dead = [f for f in findings if "dead Prometheus" in f.message]
+    assert all(f.path.endswith("export.py") for f in dead)
+    assert sorted(m.split("'")[1] for m in
+                  (f.message for f in dead)) == [
+        "repro_dead_metric", "repro_delay_seconds"]
+
+
+def test_rl003_prometheus_clean_when_everything_matches(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "src/repro/obs/export.py": """\
+            PROMETHEUS_METRICS = {
+                "repro_up": ("gauge", "liveness"),
+                "repro_delay_seconds": ("histogram", "delay dist"),
+            }
+        """,
+        "src/repro/obs/emit.py": """\
+            import repro.obs.export as export
+
+            def exposition(hist):
+                lines = [export.sample_line("repro_up", 1.0)]
+                lines += export.histogram_lines(
+                    "repro_delay_seconds", hist)
+                return lines
+        """,
+    })
+    assert findings == []
+
+
+def test_rl003_prometheus_inert_without_export_file(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "src/repro/obs/emit.py": """\
+            def exposition(sample_line):
+                return [sample_line("repro_anything", 1.0)]
         """,
     })
     assert findings == []

@@ -33,7 +33,8 @@ different machine, so naive comparison would be meaningless):
 * **Tiny timings never gate**: chain-build/compile times are
   single-digit milliseconds and dominated by allocator noise.
 * **Within-report gates are machine-free** and therefore gate
-  everywhere: the multi-session scaling and pool-reuse contracts, and
+  everywhere: the multi-session scaling, pool-reuse and
+  health-instrumentation-overhead contracts, and
   the mean-field backend's N-independence (the N=10^6 solve within
   10x of the N=10 solve; the 10^6-session grid at least 100x faster
   than the packet-sim cost extrapolated from the measured N=1000
@@ -260,6 +261,26 @@ def compare(new_doc: Dict[str, Any], base_doc: Dict[str, Any],
             regressed=float(reuse) < floor, threshold=1.0,
             note="within-report: pool reuse fraction >= 0.5 "
                  "at N=1000"))
+
+    # Health-layer overhead contract: the N=200 campaign with the
+    # streaming QoE aggregator + armed flight recorder attached must
+    # process events at >= 90% of the bare N=200 rate of the same
+    # snapshot.  Both rates come from one process — machine-free,
+    # gates everywhere.
+    overhead = new_doc.get("benchmarks", {}) \
+        .get("multisession", {}).get("health_overhead", {})
+    bare = overhead.get("bare_events_per_second")
+    inst = overhead.get("instrumented_events_per_second")
+    if isinstance(bare, (int, float)) and bare > 0 \
+            and isinstance(inst, (int, float)) and inst > 0:
+        floor = 0.9 * float(bare)
+        comp.results.append(MetricResult(
+            name="multisession.health_overhead_n200",
+            baseline=floor, new=float(inst),
+            ratio=float(inst) / floor, gated=True,
+            regressed=float(inst) < floor, threshold=1.0,
+            note="within-report: instrumented rate >= 0.9x bare "
+                 "at N=200"))
 
     # -- mean-field within-report gates: machine-independent ----------
     # The population backend's contract is N-independent solve time:

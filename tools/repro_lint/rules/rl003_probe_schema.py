@@ -39,7 +39,21 @@ shape of contract against its own registry,
 * every TELEMETRY_SCHEMA entry needs at least one literal call site
   under ``src/`` — dead entries fire on the schema line.
 
-Both halves are inert when their schema file is not part of the run.
+The Prometheus exporter (:mod:`repro.obs.export`) carries the third
+registry of the same shape, ``PROMETHEUS_METRICS = {"repro_...":
+("gauge", "help"), ...}``:
+
+* every ``sample_line("name", ...)`` / ``histogram_lines("name", ...)``
+  call with a literal first argument must name a registered metric,
+  and the helper must match the registered type (``sample_line`` on a
+  histogram entry — or ``histogram_lines`` on a gauge/counter — is a
+  bug the helpers would also raise at runtime, but only on an
+  executed path);
+* every PROMETHEUS_METRICS entry needs at least one literal emission
+  site under ``src/`` — dead entries fire on the registry line.
+
+All three halves are inert when their schema file is not part of the
+run.
 """
 
 from __future__ import annotations
@@ -55,6 +69,7 @@ SUMMARY = ("probe/telemetry names inconsistent with their declared "
 
 SCHEMA_FILE = "src/repro/obs/bus.py"
 TELEMETRY_SCHEMA_FILE = "src/repro/telemetry/schema.py"
+PROMETHEUS_FILE = "src/repro/obs/export.py"
 EMITTER_SCOPE = ("src",)
 
 #: Telemetry accessor method -> the kind its argument must declare.
@@ -175,6 +190,104 @@ def _check_telemetry(project: Project) -> List[Finding]:
     return findings
 
 
+#: Exporter helper -> whether its literal first argument must name a
+#: histogram entry (True), a gauge/counter entry (False).
+_PROMETHEUS_HELPERS = {
+    "sample_line": False,
+    "histogram_lines": True,
+}
+
+
+def _parse_prometheus_registry(source) \
+        -> Optional[Dict[str, Tuple[str, int]]]:
+    """PROMETHEUS_METRICS names -> (type, line number of the entry)."""
+    for node in ast.walk(source.tree):
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        if not any(isinstance(t, ast.Name)
+                   and t.id == "PROMETHEUS_METRICS" for t in targets):
+            continue
+        if not isinstance(value, ast.Dict):
+            return None
+        registry: Dict[str, Tuple[str, int]] = {}
+        for key, val in zip(value.keys, value.values):
+            if isinstance(key, ast.Constant) \
+                    and isinstance(key.value, str) \
+                    and isinstance(val, ast.Tuple) and val.elts \
+                    and isinstance(val.elts[0], ast.Constant) \
+                    and isinstance(val.elts[0].value, str):
+                registry[key.value] = (val.elts[0].value, key.lineno)
+        return registry
+    return None
+
+
+def _check_prometheus(project: Project) -> List[Finding]:
+    """Validate literal metric names against PROMETHEUS_METRICS."""
+    registry_source = project.get(PROMETHEUS_FILE)
+    if registry_source is None or registry_source.tree is None:
+        return []  # exporter not part of this run; inert
+    registry = _parse_prometheus_registry(registry_source)
+    if registry is None:
+        return [Finding(registry_source.path, 1, 1, RULE,
+                        "could not parse the PROMETHEUS_METRICS dict "
+                        "literal")]
+
+    findings: List[Finding] = []
+    used_names: Set[str] = set()
+    for source in project.iter_package(*EMITTER_SCOPE):
+        if source.tree is None:
+            continue
+        for node in ast.walk(source.tree):
+            if not (isinstance(node, ast.Call) and node.args
+                    and isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, str)):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name):
+                helper = func.id
+            elif isinstance(func, ast.Attribute):
+                helper = func.attr
+            else:
+                continue
+            wants_histogram = _PROMETHEUS_HELPERS.get(helper)
+            if wants_histogram is None:
+                continue
+            name = node.args[0].value
+            declared = registry.get(name)
+            if declared is None:
+                findings.append(Finding(
+                    source.path, node.lineno, node.col_offset + 1,
+                    RULE, f"Prometheus metric {name!r} is not "
+                          "registered in repro.obs.export."
+                          "PROMETHEUS_METRICS"))
+                continue
+            used_names.add(name)
+            is_histogram = declared[0] == "histogram"
+            if is_histogram != wants_histogram:
+                findings.append(Finding(
+                    source.path, node.lineno, node.col_offset + 1,
+                    RULE,
+                    f"Prometheus metric {name!r} is registered as a "
+                    f"{declared[0]} but emitted via {helper}()"))
+
+    for name, (kind, lineno) in sorted(registry.items()):
+        if name not in used_names:
+            findings.append(Finding(
+                registry_source.path, lineno, 1, RULE,
+                f"dead Prometheus registry entry {name!r} ({kind}): "
+                "no literal sample_line()/histogram_lines() site "
+                "under src/ emits this metric — remove the entry or "
+                "restore the emission"))
+    return findings
+
+
 def _probe_topic(node: ast.AST) -> Optional[ast.Call]:
     """The ``<...>.probe("lit")`` call inside ``node``, if any."""
     for sub in ast.walk(node):
@@ -248,6 +361,7 @@ class _FileScan(ast.NodeVisitor):
 
 def check(project: Project) -> List[Finding]:
     findings = _check_telemetry(project)
+    findings.extend(_check_prometheus(project))
     schema_source = project.get(SCHEMA_FILE)
     if schema_source is None or schema_source.tree is None:
         return findings  # bus.py not in this run; probe half is inert
